@@ -1,0 +1,55 @@
+// Extension bench (paper section 6): battery-aware advertising. A node's
+// advertisement transmit power is scaled by its remaining battery, so
+// drained nodes attract fewer requesters, lose the sender election, and
+// are spared the forwarding load.
+//
+// Setup: 8x8 grid, half of the nodes start at 30% battery (checkerboard).
+// We compare how much data each class forwards with the extension off/on.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace mnp;
+  std::cout << "=== Battery-aware advertising (paper section 6 extension) ===\n\n";
+  std::printf("%-14s %18s %18s %14s %10s\n", "mode", "weak avg data tx",
+              "strong avg data tx", "weak/strong", "complete");
+  for (bool aware : {false, true}) {
+    harness::ExperimentConfig cfg;
+    cfg.rows = 8;
+    cfg.cols = 8;
+    cfg.set_program_segments(2);
+    cfg.seed = 53;
+    cfg.max_sim_time = sim::hours(4);
+    cfg.mnp.battery_aware = aware;
+    cfg.battery_levels.resize(64, 1.0);
+    for (std::size_t row = 0; row < 8; ++row) {
+      for (std::size_t col = 0; col < 8; ++col) {
+        if ((row + col) % 2 == 1) cfg.battery_levels[row * 8 + col] = 0.3;
+      }
+    }
+    const auto r = harness::run_experiment(cfg);
+    double weak = 0, strong = 0;
+    std::size_t weak_n = 0, strong_n = 0;
+    for (std::size_t i = 1; i < r.nodes.size(); ++i) {  // skip the base
+      if (cfg.battery_levels[i] < 1.0) {
+        weak += static_cast<double>(r.nodes[i].tx_data);
+        ++weak_n;
+      } else {
+        strong += static_cast<double>(r.nodes[i].tx_data);
+        ++strong_n;
+      }
+    }
+    const double weak_avg = weak / static_cast<double>(weak_n);
+    const double strong_avg = strong / static_cast<double>(strong_n);
+    std::printf("%-14s %18.1f %18.1f %14.2f %9zu%%\n",
+                aware ? "battery-aware" : "baseline", weak_avg, strong_avg,
+                strong_avg > 0 ? weak_avg / strong_avg : 0.0,
+                100 * r.completed_count / r.nodes.size());
+  }
+  std::cout << "\nexpectation: with the extension on, weak-battery nodes\n"
+               "forward a smaller share of the data (weak/strong ratio\n"
+               "drops) while the network still fully reprograms.\n";
+  return 0;
+}

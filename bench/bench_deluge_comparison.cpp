@@ -1,0 +1,66 @@
+// Section 5 comparison vs Deluge: completion time and (the paper's key
+// metric) ACTIVE RADIO TIME for the same image pushed through the same
+// 20x20 network. Deluge's radio never sleeps, so its active radio time
+// tracks its completion time; MNP trades some completion time for a much
+// smaller active radio time.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+namespace {
+
+mnp::harness::RunResult run(mnp::harness::Protocol protocol, std::size_t bytes) {
+  mnp::harness::ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.rows = 20;
+  cfg.cols = 20;
+  cfg.program_bytes = bytes;
+  cfg.seed = 17;
+  cfg.max_sim_time = mnp::sim::hours(6);
+  return mnp::harness::run_experiment(cfg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mnp;
+  std::cout << "=== MNP vs Deluge, 20x20 grid ===\n\n";
+  std::printf("%-8s %8s %14s %10s %16s %12s %12s\n", "proto", "KB",
+              "completion(s)", "ART(s)", "ART/completion", "msgs/node",
+              "energy/node");
+  for (std::uint16_t segments : {2, 5}) {
+    const std::size_t bytes = static_cast<std::size_t>(segments) * 128 * 22;
+    const auto mnp_r = run(harness::Protocol::kMnp, bytes);
+    const auto del_r = run(harness::Protocol::kDeluge, bytes);
+    const auto print_row = [bytes](const char* name,
+                                   const harness::RunResult& r) {
+      const double completion = sim::to_seconds(r.completion_time);
+      std::printf("%-8s %8.1f %14.1f %10.1f %15.1f%% %12.1f %12.0f\n", name,
+                  static_cast<double>(bytes) / 1024.0, completion,
+                  r.avg_active_radio_s(),
+                  completion > 0 ? 100.0 * r.avg_active_radio_s() / completion
+                                 : 0.0,
+                  r.avg_messages_sent(),
+                  r.total_energy_nah() / static_cast<double>(r.nodes.size()));
+    };
+    print_row("MNP", mnp_r);
+    print_row("Deluge", del_r);
+    const double ratio_completion = sim::to_seconds(mnp_r.completion_time) /
+                                    sim::to_seconds(del_r.completion_time);
+    const double ratio_art =
+        mnp_r.avg_active_radio_s() / del_r.avg_active_radio_s();
+    std::printf("  -> MNP/Deluge completion: %.2fx; MNP/Deluge ART: %.2fx; "
+                "bulk overlaps MNP %llu vs Deluge %llu\n\n",
+                ratio_completion, ratio_art,
+                static_cast<unsigned long long>(mnp_r.bulk_overlaps),
+                static_cast<unsigned long long>(del_r.bulk_overlaps));
+  }
+  std::cout << "shape check (paper): Deluge keeps its radio on for the whole\n"
+               "run (ART/completion ~100%); MNP's ART is a fraction of its\n"
+               "completion time, so the energy per node is far lower even if\n"
+               "completion takes somewhat longer. Sender selection also\n"
+               "yields fewer concurrent bulk-sender overlaps per data packet\n"
+               "than Deluge's uncoordinated senders.\n";
+  return 0;
+}

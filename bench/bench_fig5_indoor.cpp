@@ -1,0 +1,48 @@
+// Fig. 5: indoor experiment — 20 Mica-2 motes in a 5x4 grid in a
+// classroom, power levels 3 and 4 (the two lowest), ~3 ft spacing,
+// 200-packet (4.4 KB) program, basic MNP (no pipelining).
+//
+// Substitution: real motes -> the empirical-link simulator; "power level"
+// maps to communication range in feet (documented inline). The paper's
+// observable outputs — the parent map, the order in which nodes became
+// senders, and the handful of senders — are printed in the same form.
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+int main() {
+  using namespace mnp;
+  std::cout << "=== Fig. 5: indoor 5x4 grid, basic MNP (no pipelining) ===\n";
+  std::cout << "(power level -> range mapping: level 4 ~ 9 ft, level 3 ~ 6 ft\n"
+               " at 3 ft inter-node spacing)\n\n";
+
+  struct Setting {
+    const char* label;
+    double range_ft;
+  };
+  for (const Setting s : {Setting{"power level 4", 9.0},
+                          Setting{"power level 3", 6.0}}) {
+    harness::ExperimentConfig cfg;
+    cfg.rows = 5;
+    cfg.cols = 4;
+    cfg.spacing_ft = 3.0;
+    cfg.range_ft = s.range_ft;
+    cfg.base = 0;  // upper-left corner, as in the paper
+    cfg.mnp.pipelining = false;
+    cfg.mnp.packets_per_segment = 200;  // one large EEPROM-tracked segment
+    cfg.program_bytes = 200 * 22;  // 200 packets (~4.4 KB)
+    cfg.seed = 11;
+    const auto r = harness::run_experiment(cfg);
+
+    std::cout << "---- " << s.label << " (range " << s.range_ft << " ft) ----\n";
+    harness::print_summary(std::cout, s.label, r);
+    harness::print_parent_map(std::cout, r, cfg.base);
+    harness::print_sender_order(std::cout, r);
+    std::cout << "\n";
+  }
+  std::cout << "shape check (paper): higher power => fewer senders, most\n"
+               "nodes parented directly by the base; lower power => more\n"
+               "hops, more senders.\n";
+  return 0;
+}

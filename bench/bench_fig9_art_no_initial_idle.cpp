@@ -1,0 +1,49 @@
+// Fig. 9: active radio time excluding the initial idle-listening period
+// (everything before the node's first heard advertisement). The paper's
+// point: with an S-MAC/SS-TDMA-style wakeup scheme the pre-wave idling
+// would vanish, and what remains is far more uniform across the network.
+#include <iomanip>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+#include "util/histogram.hpp"
+
+int main() {
+  using namespace mnp;
+  std::cout << "=== Fig. 9: ART without initial idle listening, 20x20, 5 segments ===\n\n";
+  harness::ExperimentConfig cfg;
+  cfg.rows = 20;
+  cfg.cols = 20;
+  cfg.set_program_segments(5);
+  cfg.seed = 8;
+  const auto r = harness::run_experiment(cfg);
+
+  util::RunningStats total, post_adv;
+  std::cout << "ART after first advertisement, by node id (s):\n";
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    const double art = sim::to_seconds(r.nodes[i].active_radio);
+    const double post = sim::to_seconds(r.nodes[i].active_radio_after_first_adv);
+    total.add(art);
+    post_adv.add(post);
+    std::cout << std::setw(7) << std::fixed << std::setprecision(1) << post;
+    if ((i + 1) % r.cols == 0) std::cout << "\n";
+  }
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << "\n            |    mean |     min |     max |  stddev\n";
+  std::cout << "total ART   | " << std::setw(7) << total.mean() << " | "
+            << std::setw(7) << total.min() << " | " << std::setw(7) << total.max()
+            << " | " << std::setw(7) << total.stddev() << "\n";
+  std::cout << "post-adv ART| " << std::setw(7) << post_adv.mean() << " | "
+            << std::setw(7) << post_adv.min() << " | " << std::setw(7)
+            << post_adv.max() << " | " << std::setw(7) << post_adv.stddev()
+            << "\n";
+  std::cout << "\nshape check (paper): removing the initial idle listening\n"
+               "makes per-node values much closer to each other (smaller\n"
+               "spread relative to the mean) than raw ART.\n";
+  const double total_cv = total.stddev() / total.mean();
+  const double post_cv = post_adv.stddev() / post_adv.mean();
+  std::cout << "coefficient of variation: total " << std::setprecision(2)
+            << total_cv << " vs post-adv " << post_cv << "\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Extension bench: network lifetime across repeated reprogramming rounds.
+//
+// Paper section 6: "a node whose battery level is low (e.g., if it became
+// a sender in previous reprogramming) advertises with lower power level
+// ... the responsibility of transmitting the code will be evenly divided
+// among the sensors." We run several consecutive reprogramming rounds,
+// depleting each node's battery by its measured energy use, and compare
+// the battery distribution with the extension off and on.
+//
+// Battery capacity is scaled down so depletion is visible within a few
+// rounds (a real AA pack outlives hundreds of reprogrammings).
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "util/histogram.hpp"
+
+int main() {
+  using namespace mnp;
+  constexpr double kCapacityNah = 4.0e6;  // scaled virtual battery
+  constexpr int kRounds = 6;
+  std::cout << "=== Repeated reprogramming rounds, 6x6 grid, 2 segments ===\n"
+            << "(virtual battery " << kCapacityNah << " nAh per node)\n\n";
+
+  for (bool aware : {false, true}) {
+    std::vector<double> battery(36, 1.0);
+    std::printf("--- %s ---\n", aware ? "battery-aware" : "baseline");
+    std::printf("%-6s %10s %10s %10s %10s\n", "round", "min batt", "avg batt",
+                "stddev", "complete");
+    for (int round = 1; round <= kRounds; ++round) {
+      harness::ExperimentConfig cfg;
+      cfg.rows = 6;
+      cfg.cols = 6;
+      cfg.set_program_segments(2);
+      cfg.program_id = static_cast<std::uint16_t>(round);
+      cfg.seed = 90 + static_cast<std::uint64_t>(round);
+      cfg.max_sim_time = sim::hours(4);
+      cfg.mnp.battery_aware = aware;
+      cfg.battery_levels = battery;
+      const auto r = harness::run_experiment(cfg);
+      util::RunningStats stats;
+      for (std::size_t i = 0; i < battery.size(); ++i) {
+        battery[i] = std::max(0.05, battery[i] - r.nodes[i].energy_nah / kCapacityNah);
+        if (i != cfg.base) stats.add(battery[i]);  // base is mains-powered
+      }
+      std::printf("%-6d %10.3f %10.3f %10.3f %9zu%%\n", round, stats.min(),
+                  stats.mean(), stats.stddev(),
+                  100 * r.completed_count / r.nodes.size());
+    }
+    std::printf("\n");
+  }
+  std::cout << "expectation: battery-aware rounds end with a higher minimum\n"
+               "and a tighter spread — the forwarding load rotates onto the\n"
+               "healthiest nodes instead of re-draining the same senders.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Micro-benchmarks of the simulator substrate (google-benchmark): event
+// scheduler throughput, bitmap operations, channel delivery fan-out, and
+// a whole small dissemination as a macro sanity number.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "harness/experiment.hpp"
+#include "net/channel.hpp"
+#include "net/link_model.hpp"
+#include "net/radio.hpp"
+#include "sim/scheduler.hpp"
+#include "util/bitmap.hpp"
+
+namespace {
+
+using namespace mnp;
+
+void BM_SchedulerScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler s;
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      s.schedule_at(static_cast<sim::Time>(i % 997), [&sum, i] { sum += i; });
+    }
+    s.run_all();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerScheduleRun)->Arg(1024)->Arg(16384);
+
+void BM_SchedulerCancelledTombstones(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Scheduler s;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      handles.push_back(s.schedule_at(static_cast<sim::Time>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < n; i += 2) handles[i].cancel();
+    s.run_all();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SchedulerCancelledTombstones)->Arg(16384);
+
+void BM_BitmapUnionCount(benchmark::State& state) {
+  util::Bitmap a = util::Bitmap::all_set(128);
+  util::Bitmap b(128);
+  for (std::size_t i = 0; i < 128; i += 3) b.set(i);
+  for (auto _ : state) {
+    util::Bitmap c = a;
+    c |= b;
+    benchmark::DoNotOptimize(c.count());
+    benchmark::DoNotOptimize(c.find_first_set(64));
+  }
+}
+BENCHMARK(BM_BitmapUnionCount);
+
+void BM_ChannelBroadcastFanout(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Simulator sim(1);
+  net::Topology topo = net::Topology::grid(n, n, 10.0);
+  net::DiskLinkModel links(topo, 25.0);
+  net::Channel channel(sim, topo, links);
+  std::vector<std::unique_ptr<energy::EnergyMeter>> meters;
+  std::vector<std::unique_ptr<net::Radio>> radios;
+  for (std::size_t i = 0; i < n * n; ++i) {
+    meters.push_back(std::make_unique<energy::EnergyMeter>());
+    radios.push_back(std::make_unique<net::Radio>(
+        static_cast<net::NodeId>(i), sim.scheduler(), channel, *meters[i]));
+    channel.register_radio(*radios[i]);
+    radios[i]->turn_on();
+  }
+  net::Packet pkt;
+  net::DataMsg d;
+  d.payload.assign(22, 1);
+  pkt.payload = std::move(d);
+  const net::NodeId center = static_cast<net::NodeId>(n * n / 2);
+  for (auto _ : state) {
+    radios[center]->start_transmission(pkt);
+    sim.run_until(sim.now() + sim::sec(1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChannelBroadcastFanout)->Arg(10)->Arg(20);
+
+void BM_EndToEndSmallDissemination(benchmark::State& state) {
+  for (auto _ : state) {
+    harness::ExperimentConfig cfg;
+    cfg.rows = 4;
+    cfg.cols = 4;
+    cfg.set_program_segments(1);
+    cfg.seed = 5;
+    const auto r = harness::run_experiment(cfg);
+    benchmark::DoNotOptimize(r.completion_time);
+  }
+}
+BENCHMARK(BM_EndToEndSmallDissemination)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

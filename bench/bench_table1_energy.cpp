@@ -1,0 +1,45 @@
+// Table 1: "Power required by various Mica operations" — the cost model
+// every energy number in this repository is priced with, plus a sanity
+// demonstration: the per-operation breakdown of one small dissemination.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace mnp;
+  std::cout << "=== Table 1: Power required by various Mica operations ===\n\n";
+  energy::EnergyModel m;
+  std::printf("%-38s %10s\n", "Operation", "nAh");
+  std::printf("%-38s %10.3f\n", "Transmitting a packet", m.tx_packet_nah);
+  std::printf("%-38s %10.3f\n", "Receiving a packet", m.rx_packet_nah);
+  std::printf("%-38s %10.3f\n", "Idle listening for 1 millisecond",
+              m.idle_listen_per_ms_nah);
+  std::printf("%-38s %10.3f\n", "EEPROM Read Data (16B)", m.eeprom_read_16b_nah);
+  std::printf("%-38s %10.3f\n", "EEPROM Write Data (16B)", m.eeprom_write_16b_nah);
+
+  std::cout << "\n--- applied to one 5x5 / 2-segment MNP dissemination ---\n";
+  harness::ExperimentConfig cfg;
+  cfg.rows = 5;
+  cfg.cols = 5;
+  cfg.set_program_segments(2);
+  cfg.seed = 1;
+  const auto r = harness::run_experiment(cfg);
+  double tx = 0, rx = 0, idle = 0;
+  for (const auto& n : r.nodes) {
+    tx += static_cast<double>(n.tx_total) * m.tx_packet_nah;
+    rx += static_cast<double>(n.rx_total) * m.rx_packet_nah;
+    idle += m.idle_cost_nah(n.active_radio);
+  }
+  const double total = r.total_energy_nah();
+  std::printf("\n%-28s %14s %8s\n", "component", "nAh", "share");
+  std::printf("%-28s %14.0f %7.1f%%\n", "transmissions", tx, 100 * tx / total);
+  std::printf("%-28s %14.0f %7.1f%%\n", "receptions", rx, 100 * rx / total);
+  std::printf("%-28s %14.0f %7.1f%%\n", "idle listening", idle, 100 * idle / total);
+  std::printf("%-28s %14.0f %7.1f%%\n", "EEPROM (rest)",
+              total - tx - rx - idle, 100 * (total - tx - rx - idle) / total);
+  std::printf("%-28s %14.0f\n", "total", total);
+  std::cout << "\npaper's point reproduced: idle listening dominates when the\n"
+               "radio stays on; MNP attacks exactly this term by sleeping.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Extension bench (paper conclusion): "One promising option is to combine
+// MNP with time scheduling mechanisms such as TDMA, so that each node can
+// sleep and wake up at predefined time slots". MNP over the TinyOS CSMA
+// MAC vs MNP over an SS-TDMA slotted MAC on the same 10x10 / 2-segment
+// workload.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace mnp;
+  std::cout << "=== MNP over CSMA vs MNP over SS-TDMA, 10x10 grid ===\n\n";
+  std::printf("%-8s %14s %10s %12s %12s %12s %10s\n", "MAC", "completion(s)",
+              "ART(s)", "collisions", "overlaps", "msgs/node", "complete");
+  for (auto mac : {harness::MacType::kCsma, harness::MacType::kTdma}) {
+    harness::ExperimentConfig cfg;
+    cfg.mac = mac;
+    cfg.rows = 10;
+    cfg.cols = 10;
+    cfg.set_program_segments(2);
+    cfg.seed = 77;
+    cfg.max_sim_time = sim::hours(6);
+    const auto r = harness::run_experiment(cfg);
+    std::printf("%-8s %14.1f %10.1f %12llu %12llu %12.1f %9zu%%\n",
+                mac == harness::MacType::kCsma ? "CSMA" : "TDMA",
+                sim::to_seconds(r.completion_time), r.avg_active_radio_s(),
+                static_cast<unsigned long long>(r.collisions),
+                static_cast<unsigned long long>(r.bulk_overlaps),
+                r.avg_messages_sent(),
+                100 * r.completed_count / r.nodes.size());
+  }
+  std::cout << "\nexpectation: TDMA eliminates collisions entirely (the slot\n"
+               "tiling keeps same-slot transmitters out of interference\n"
+               "range of any shared listener) at the price of slot-waiting\n"
+               "latency; CSMA is faster but collision-prone.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Protocol face-off: the same 8x8 network and the same ~5.6 KB image
+// disseminated by MNP, Deluge, MOAP and (single-hop) XNP. Prints one
+// comparison row per protocol — a quick way to feel the design space the
+// paper positions MNP in.
+#include <cstdio>
+#include <iostream>
+
+#include "harness/experiment.hpp"
+
+int main() {
+  using namespace mnp;
+  std::cout << "Disseminating ~5.6 KB across an 8x8 grid with 4 protocols\n\n";
+  std::printf("%-8s %10s %14s %10s %12s %12s\n", "proto", "complete",
+              "completion(s)", "ART(s)", "msgs/node", "energy/node");
+  for (auto protocol : {harness::Protocol::kMnp, harness::Protocol::kDeluge,
+                        harness::Protocol::kMoap, harness::Protocol::kXnp}) {
+    harness::ExperimentConfig cfg;
+    cfg.protocol = protocol;
+    cfg.rows = 8;
+    cfg.cols = 8;
+    cfg.range_ft = 25.0;
+    cfg.program_bytes = 2 * 128 * 22;
+    cfg.seed = 64;
+    cfg.max_sim_time = sim::hours(4);
+    const auto r = harness::run_experiment(cfg);
+    std::printf("%-8s %9zu%% %14.1f %10.1f %12.1f %12.0f\n",
+                harness::protocol_name(protocol),
+                100 * r.completed_count / r.nodes.size(),
+                r.completion_time >= 0 ? sim::to_seconds(r.completion_time) : -1.0,
+                r.avg_active_radio_s(), r.avg_messages_sent(),
+                r.total_energy_nah() / static_cast<double>(r.nodes.size()));
+  }
+  std::cout << "\nXNP never reaches nodes beyond the base's radio cell;\n"
+               "Deluge/MOAP finish but keep every radio on; MNP completes\n"
+               "with a fraction of the active radio time.\n";
+  return 0;
+}

@@ -1,0 +1,298 @@
+#include "baselines/deluge_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "node/stats.hpp"
+
+namespace mnp::baselines {
+
+using net::Packet;
+
+DelugeNode::DelugeNode(DelugeConfig config) : config_(config) {}
+
+DelugeNode::DelugeNode(DelugeConfig config,
+                       std::shared_ptr<const core::ProgramImage> image)
+    : config_(config), image_(std::move(image)) {
+  assert(image_);
+  assert(image_->packets_per_segment() == config_.packets_per_page);
+  assert(image_->payload_bytes() == config_.payload_bytes);
+}
+
+void DelugeNode::start(node::Node& node) {
+  node_ = &node;
+  node_->radio_on();  // Deluge keeps the radio on for the whole run
+  if (image_) {
+    version_ = image_->id();
+    program_bytes_ = static_cast<std::uint32_t>(image_->total_bytes());
+    known_pages_ = image_->num_segments();
+    complete_pages_ = known_pages_;
+    node_->stats().on_completed(node_->id(), node_->now());
+  }
+  start_round(/*reset_tau=*/true);
+}
+
+// --------------------------------------------------------------------------
+// program geometry
+// --------------------------------------------------------------------------
+
+void DelugeNode::learn_program(std::uint16_t version, std::uint16_t pages,
+                               std::uint32_t bytes) {
+  if (known_pages_ == 0 && pages > 0) {
+    version_ = version;
+    known_pages_ = pages;
+    program_bytes_ = bytes;
+    node_->meter().mark_first_advertisement(node_->now());
+  }
+}
+
+std::uint16_t DelugeNode::packets_in(std::uint16_t page) const {
+  if (page == 0 || page > known_pages_) return 0;
+  if (page < known_pages_) return config_.packets_per_page;
+  const std::size_t page_bytes =
+      static_cast<std::size_t>(config_.packets_per_page) * config_.payload_bytes;
+  const std::size_t last = program_bytes_ - page_bytes * (known_pages_ - 1);
+  return static_cast<std::uint16_t>((last + config_.payload_bytes - 1) /
+                                    config_.payload_bytes);
+}
+
+std::size_t DelugeNode::eeprom_offset(std::uint16_t page, std::uint16_t pkt) const {
+  return (static_cast<std::size_t>(page - 1) * config_.packets_per_page + pkt) *
+         config_.payload_bytes;
+}
+
+std::size_t DelugeNode::payload_len(std::uint16_t page, std::uint16_t pkt) const {
+  const std::size_t offset = eeprom_offset(page, pkt);
+  if (offset >= program_bytes_) return 0;
+  return std::min(config_.payload_bytes, program_bytes_ - offset);
+}
+
+void DelugeNode::ensure_missing(std::uint16_t page) {
+  if (missing_for_page_ == page) return;
+  missing_ = util::Bitmap::all_set(packets_in(page));
+  missing_for_page_ = page;
+}
+
+// --------------------------------------------------------------------------
+// MAINTAIN (Trickle)
+// --------------------------------------------------------------------------
+
+void DelugeNode::start_round(bool reset_tau) {
+  round_timer_.cancel();
+  round_end_timer_.cancel();
+  if (reset_tau || tau_ == 0) {
+    tau_ = config_.tau_low;
+  } else {
+    tau_ = std::min(tau_ * 2, config_.tau_high);
+  }
+  heard_consistent_ = 0;
+  const sim::Time t = node_->rng().uniform_int(tau_ / 2, tau_);
+  round_timer_ = node_->schedule(t, [this] { round_fired(); });
+  round_end_timer_ = node_->schedule(tau_, [this] {
+    if (state_ == State::kMaintain) start_round(/*reset_tau=*/false);
+  });
+}
+
+void DelugeNode::round_fired() {
+  if (state_ != State::kMaintain) return;
+  if (heard_consistent_ >= config_.suppression_k) return;  // suppressed
+  Packet pkt;
+  net::DelugeSummaryMsg summary;
+  summary.version = version_;
+  summary.total_pages = known_pages_;
+  summary.complete_pages = complete_pages_;
+  summary.program_bytes = program_bytes_;
+  pkt.payload = summary;
+  node_->send(std::move(pkt));
+}
+
+void DelugeNode::handle_summary(const Packet& pkt,
+                                const net::DelugeSummaryMsg& msg) {
+  learn_program(msg.version, msg.total_pages, msg.program_bytes);
+  if (msg.complete_pages == complete_pages_) {
+    ++heard_consistent_;
+    return;
+  }
+  // Inconsistency: someone is ahead or behind; Trickle resets.
+  if (state_ == State::kMaintain) {
+    if (msg.complete_pages > complete_pages_) {
+      begin_rx(pkt.src);
+    } else {
+      // They are behind: reset tau so our summary reaches them soon.
+      start_round(/*reset_tau=*/true);
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// RX
+// --------------------------------------------------------------------------
+
+void DelugeNode::begin_rx(net::NodeId source) {
+  state_ = State::kRx;
+  round_timer_.cancel();
+  round_end_timer_.cancel();
+  rx_source_ = source;
+  request_rounds_ = 0;
+  ensure_missing(static_cast<std::uint16_t>(complete_pages_ + 1));
+  const sim::Time delay = node_->rng().uniform_int(0, config_.request_delay_max);
+  request_timer_ = node_->schedule(delay, [this] { send_request(); });
+}
+
+void DelugeNode::send_request() {
+  if (state_ != State::kRx) return;
+  if (request_rounds_ >= config_.max_request_rounds) {
+    finish_rx(/*success=*/false);
+    return;
+  }
+  ++request_rounds_;
+  Packet pkt;
+  net::DelugeRequestMsg req;
+  req.dest = rx_source_;
+  req.page = static_cast<std::uint16_t>(complete_pages_ + 1);
+  req.missing = missing_;
+  pkt.payload = req;
+  node_->send(std::move(pkt));
+  rx_idle_timer_.cancel();
+  rx_idle_timer_ =
+      node_->schedule(config_.rx_idle_timeout, [this] { rx_timeout(); });
+}
+
+void DelugeNode::rx_timeout() {
+  if (state_ != State::kRx) return;
+  send_request();  // retry (bounded by max_request_rounds)
+}
+
+void DelugeNode::finish_rx(bool success) {
+  request_timer_.cancel();
+  rx_idle_timer_.cancel();
+  rx_source_ = net::kNoNode;
+  state_ = State::kMaintain;
+  start_round(/*reset_tau=*/!success ? false : true);
+}
+
+// --------------------------------------------------------------------------
+// TX
+// --------------------------------------------------------------------------
+
+void DelugeNode::handle_request(const Packet& pkt,
+                                const net::DelugeRequestMsg& msg) {
+  (void)pkt;
+  if (msg.page > complete_pages_) return;  // we don't have it
+  if (state_ == State::kTx) {
+    if (msg.page == tx_page_) {
+      // Merge the not-yet-passed part of the request.
+      for (std::size_t i = tx_cursor_; i < tx_vector_.size(); ++i) {
+        if (msg.missing.test(i)) tx_vector_.set(i);
+      }
+    }
+    return;
+  }
+  if (state_ == State::kRx && msg.dest != node_->id()) return;
+  if (msg.dest != node_->id()) return;
+  begin_tx(msg.page);
+  for (std::size_t i = 0; i < tx_vector_.size(); ++i) {
+    if (msg.missing.test(i)) tx_vector_.set(i);
+  }
+}
+
+void DelugeNode::begin_tx(std::uint16_t page) {
+  request_timer_.cancel();
+  rx_idle_timer_.cancel();
+  round_timer_.cancel();
+  round_end_timer_.cancel();
+  state_ = State::kTx;
+  node_->stats().on_became_sender(node_->id(), node_->now());
+  tx_page_ = page;
+  tx_vector_ = util::Bitmap(packets_in(page));
+  tx_cursor_ = 0;
+  tx_timer_ = node_->schedule(config_.tx_pump_interval, [this] { pump_tx(); });
+}
+
+void DelugeNode::pump_tx() {
+  if (state_ != State::kTx) return;
+  while (node_->mac().queue_depth() < 2) {
+    const std::size_t next = tx_vector_.find_first_set(tx_cursor_);
+    if (next >= tx_vector_.size()) break;
+    Packet pkt;
+    net::DelugeDataMsg data;
+    data.version = version_;
+    data.page = tx_page_;
+    data.pkt_id = static_cast<std::uint8_t>(next);
+    if (image_) {
+      data.payload = image_->packet_payload(tx_page_, static_cast<std::uint16_t>(next));
+    } else {
+      data.payload = node_->eeprom().read(
+          eeprom_offset(tx_page_, static_cast<std::uint16_t>(next)),
+          payload_len(tx_page_, static_cast<std::uint16_t>(next)));
+    }
+    pkt.payload = std::move(data);
+    node_->send(std::move(pkt));
+    tx_cursor_ = static_cast<std::uint16_t>(next + 1);
+  }
+  const bool drained =
+      tx_vector_.find_first_set(tx_cursor_) >= tx_vector_.size() &&
+      node_->mac().idle();
+  if (drained) {
+    state_ = State::kMaintain;
+    start_round(/*reset_tau=*/true);
+    return;
+  }
+  tx_timer_ = node_->schedule(config_.tx_pump_interval, [this] { pump_tx(); });
+}
+
+// --------------------------------------------------------------------------
+// data reception (any state: Deluge receivers hoard every useful packet)
+// --------------------------------------------------------------------------
+
+void DelugeNode::store_data(const net::DelugeDataMsg& msg) {
+  ensure_missing(msg.page);
+  if (!missing_.test(msg.pkt_id)) return;
+  node_->eeprom().write(eeprom_offset(msg.page, msg.pkt_id), msg.payload);
+  missing_.clear(msg.pkt_id);
+}
+
+void DelugeNode::page_completed() {
+  ++complete_pages_;
+  node_->stats().on_segment_completed(node_->id(), complete_pages_, node_->now());
+  if (has_complete_image()) {
+    node_->stats().on_completed(node_->id(), node_->now());
+  }
+  if (state_ == State::kRx) {
+    node_->stats().on_parent_set(node_->id(), rx_source_);
+    finish_rx(/*success=*/true);
+  } else {
+    start_round(/*reset_tau=*/true);
+  }
+}
+
+void DelugeNode::handle_data(const Packet& pkt, const net::DelugeDataMsg& msg) {
+  (void)pkt;
+  if (known_pages_ == 0) return;
+  if (state_ == State::kTx) return;  // half-duplex sender: handled by radio
+  if (msg.page != complete_pages_ + 1) {
+    // Data for a page we can't use; Deluge suppresses its own traffic.
+    heard_consistent_ = config_.suppression_k;
+    return;
+  }
+  store_data(msg);
+  if (state_ == State::kRx) {
+    rx_idle_timer_.cancel();
+    rx_idle_timer_ =
+        node_->schedule(config_.rx_idle_timeout, [this] { rx_timeout(); });
+  }
+  if (missing_.none()) page_completed();
+}
+
+void DelugeNode::on_packet(const Packet& pkt) {
+  if (const auto* summary = pkt.as<net::DelugeSummaryMsg>()) {
+    handle_summary(pkt, *summary);
+  } else if (const auto* req = pkt.as<net::DelugeRequestMsg>()) {
+    handle_request(pkt, *req);
+  } else if (const auto* data = pkt.as<net::DelugeDataMsg>()) {
+    handle_data(pkt, *data);
+  }
+}
+
+}  // namespace mnp::baselines

@@ -1,0 +1,295 @@
+#include "baselines/moap_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "node/stats.hpp"
+
+namespace mnp::baselines {
+
+using net::Packet;
+
+MoapNode::MoapNode(MoapConfig config) : config_(config) {}
+
+MoapNode::MoapNode(MoapConfig config,
+                   std::shared_ptr<const core::ProgramImage> image)
+    : config_(config), image_(std::move(image)) {
+  assert(image_);
+  assert(image_->payload_bytes() == config_.payload_bytes);
+}
+
+void MoapNode::start(node::Node& node) {
+  node_ = &node;
+  node_->radio_on();  // MOAP never turns the radio off
+  if (image_) {
+    version_ = image_->id();
+    program_bytes_ = static_cast<std::uint32_t>(image_->total_bytes());
+    total_packets_ = static_cast<std::uint32_t>(
+        (program_bytes_ + config_.payload_bytes - 1) / config_.payload_bytes);
+    have_.assign(total_packets_, true);
+    have_count_ = total_packets_;
+    node_->stats().on_completed(node_->id(), node_->now());
+    become_publisher();
+  }
+}
+
+std::size_t MoapNode::payload_len(std::uint16_t pkt_id) const {
+  const std::size_t offset =
+      static_cast<std::size_t>(pkt_id) * config_.payload_bytes;
+  if (offset >= program_bytes_) return 0;
+  return std::min(config_.payload_bytes, program_bytes_ - offset);
+}
+
+// --------------------------------------------------------------------------
+// publisher
+// --------------------------------------------------------------------------
+
+void MoapNode::become_publisher() {
+  state_ = State::kPublishing;
+  saw_subscriber_ = false;
+  schedule_publish(/*reset_interval=*/true);
+}
+
+void MoapNode::schedule_publish(bool reset_interval) {
+  if (reset_interval || publish_interval_hi_ == 0) {
+    publish_interval_hi_ = config_.publish_interval_max;
+  }
+  const sim::Time delay =
+      node_->rng().uniform_int(config_.publish_interval_min, publish_interval_hi_);
+  publish_timer_ = node_->schedule(delay, [this] { send_publish(); });
+}
+
+void MoapNode::send_publish() {
+  if (state_ != State::kPublishing) return;
+  Packet pkt;
+  net::MoapPublishMsg msg;
+  msg.version = version_;
+  msg.total_packets = static_cast<std::uint16_t>(total_packets_);
+  msg.program_bytes = program_bytes_;
+  pkt.payload = msg;
+  node_->send(std::move(pkt));
+  // Collect subscriptions for a window; if none, slow down (quiescent
+  // neighborhood) and try again later.
+  subscribe_window_timer_ =
+      node_->schedule(config_.subscribe_window, [this] {
+        if (state_ != State::kPublishing) return;
+        if (saw_subscriber_) {
+          begin_streaming();
+        } else {
+          publish_interval_hi_ =
+              std::min(publish_interval_hi_ * 2, config_.publish_interval_cap);
+          schedule_publish(/*reset_interval=*/false);
+        }
+      });
+}
+
+void MoapNode::handle_subscribe(const Packet& pkt,
+                                const net::MoapSubscribeMsg& msg) {
+  (void)pkt;
+  if (msg.dest != node_->id()) return;
+  if (state_ == State::kPublishing) {
+    saw_subscriber_ = true;
+  } else if (state_ == State::kRepair || state_ == State::kStreaming) {
+    // Late subscriber: it will pick packets from the ongoing broadcast and
+    // NACK the rest during repair.
+    saw_subscriber_ = true;
+  }
+}
+
+void MoapNode::begin_streaming() {
+  state_ = State::kStreaming;
+  saw_subscriber_ = false;  // future publishes need fresh interest
+  node_->stats().on_became_sender(node_->id(), node_->now());
+  stream_cursor_ = 0;
+  retransmit_queue_.clear();
+  pump_timer_ = node_->schedule(config_.pump_interval, [this] { pump_stream(); });
+}
+
+void MoapNode::pump_stream() {
+  if (state_ != State::kStreaming && state_ != State::kRepair) return;
+  while (node_->mac().queue_depth() < 2) {
+    std::uint16_t pkt_id;
+    if (!retransmit_queue_.empty()) {
+      pkt_id = retransmit_queue_.front();
+      retransmit_queue_.erase(retransmit_queue_.begin());
+    } else if (state_ == State::kStreaming && stream_cursor_ < total_packets_) {
+      pkt_id = static_cast<std::uint16_t>(stream_cursor_++);
+    } else {
+      break;
+    }
+    Packet pkt;
+    net::MoapDataMsg data;
+    data.version = version_;
+    data.pkt_id = pkt_id;
+    if (image_) {
+      const std::size_t offset =
+          static_cast<std::size_t>(pkt_id) * config_.payload_bytes;
+      const std::size_t len = payload_len(pkt_id);
+      data.payload = {image_->bytes().begin() + static_cast<long>(offset),
+                      image_->bytes().begin() + static_cast<long>(offset + len)};
+    } else {
+      data.payload = node_->eeprom().read(
+          static_cast<std::size_t>(pkt_id) * config_.payload_bytes,
+          payload_len(pkt_id));
+    }
+    pkt.payload = std::move(data);
+    node_->send(std::move(pkt));
+  }
+  if (state_ == State::kStreaming && stream_cursor_ >= total_packets_ &&
+      retransmit_queue_.empty() && node_->mac().idle()) {
+    // First pass done: answer NACKs until the neighborhood goes quiet.
+    state_ = State::kRepair;
+    repair_timer_ = node_->schedule(config_.repair_idle_timeout, [this] {
+      state_ = State::kPublishing;
+      schedule_publish(/*reset_interval=*/false);
+    });
+    return;
+  }
+  pump_timer_ = node_->schedule(config_.pump_interval, [this] { pump_stream(); });
+}
+
+void MoapNode::handle_nack(const Packet& pkt, const net::MoapNackMsg& msg) {
+  (void)pkt;
+  if (msg.dest != node_->id()) return;
+  if (state_ != State::kStreaming && state_ != State::kRepair) return;
+  if (msg.pkt_id >= total_packets_) return;
+  if (std::find(retransmit_queue_.begin(), retransmit_queue_.end(), msg.pkt_id) ==
+      retransmit_queue_.end()) {
+    retransmit_queue_.push_back(msg.pkt_id);
+  }
+  if (state_ == State::kRepair) {
+    repair_timer_.cancel();
+    repair_timer_ = node_->schedule(config_.repair_idle_timeout, [this] {
+      state_ = State::kPublishing;
+      schedule_publish(/*reset_interval=*/false);
+    });
+    pump_timer_.cancel();
+    pump_timer_ = node_->schedule(config_.pump_interval, [this] { pump_stream(); });
+  }
+}
+
+// --------------------------------------------------------------------------
+// receiver
+// --------------------------------------------------------------------------
+
+void MoapNode::handle_publish(const Packet& pkt, const net::MoapPublishMsg& msg) {
+  if (image_) return;
+  if (total_packets_ == 0 && msg.total_packets > 0) {
+    version_ = msg.version;
+    total_packets_ = msg.total_packets;
+    program_bytes_ = msg.program_bytes;
+    have_.assign(total_packets_, false);
+    node_->meter().mark_first_advertisement(node_->now());
+  }
+  if (has_complete_image()) return;
+  if (state_ != State::kIdle) return;  // already subscribed or busy
+  state_ = State::kSubscribed;
+  source_ = pkt.src;
+  node_->stats().on_parent_set(node_->id(), pkt.src);
+  Packet out;
+  out.payload = net::MoapSubscribeMsg{pkt.src};
+  node_->send(std::move(out));
+  rx_idle_timer_.cancel();
+  rx_idle_timer_ = node_->schedule(config_.rx_idle_timeout, [this] { rx_idle(); });
+}
+
+void MoapNode::rx_idle() {
+  if (state_ != State::kSubscribed) return;
+  if (has_complete_image()) return;
+  if (have_count_ > last_idle_have_count_) {
+    stalled_idles_ = 0;
+  } else {
+    ++stalled_idles_;
+  }
+  last_idle_have_count_ = have_count_;
+  if (have_count_ > 0 && stalled_idles_ < 3) {
+    // Mid-image stall: try NACKing our way forward before giving up.
+    maybe_nack();
+    rx_idle_timer_ =
+        node_->schedule(config_.rx_idle_timeout, [this] { rx_idle(); });
+  } else {
+    // Dead source (or never heard a byte): drop the subscription and wait
+    // for the next publish; received packets are kept.
+    state_ = State::kIdle;
+    source_ = net::kNoNode;
+    stalled_idles_ = 0;
+  }
+}
+
+void MoapNode::maybe_nack() {
+  if (source_ == net::kNoNode || total_packets_ == 0) return;
+  const sim::Time now = node_->now();
+  if (last_nack_time_ >= 0 && now - last_nack_time_ < config_.nack_min_gap) return;
+  for (std::size_t i = 0; i < have_.size(); ++i) {
+    if (!have_[i]) {
+      Packet pkt;
+      pkt.payload = net::MoapNackMsg{source_, static_cast<std::uint16_t>(i)};
+      node_->send(std::move(pkt));
+      last_nack_time_ = now;
+      return;
+    }
+  }
+}
+
+void MoapNode::handle_data(const Packet& pkt, const net::MoapDataMsg& msg) {
+  if (image_ || total_packets_ == 0) return;
+  if (state_ == State::kPublishing) {
+    // Another publisher is busy nearby: defer our own publishing (MOAP's
+    // concurrent-sender mitigation).
+    publish_timer_.cancel();
+    publish_timer_ =
+        node_->schedule(config_.publish_defer, [this] { send_publish(); });
+    return;
+  }
+  if (state_ != State::kSubscribed) {
+    if (has_complete_image()) return;
+    // Opportunistic join: data is flowing, subscribe to its source.
+    state_ = State::kSubscribed;
+    source_ = pkt.src;
+    node_->stats().on_parent_set(node_->id(), pkt.src);
+  }
+  if (msg.pkt_id < have_.size() && !have_[msg.pkt_id]) {
+    node_->eeprom().write(
+        static_cast<std::size_t>(msg.pkt_id) * config_.payload_bytes, msg.payload);
+    have_[msg.pkt_id] = true;
+    ++have_count_;
+  }
+  rx_idle_timer_.cancel();
+  rx_idle_timer_ = node_->schedule(config_.rx_idle_timeout, [this] { rx_idle(); });
+
+  if (has_complete_image()) {
+    node_->stats().on_completed(node_->id(), node_->now());
+    rx_idle_timer_.cancel();
+    nack_timer_.cancel();
+    // Hop-by-hop relay: now that the whole image is here, publish it.
+    become_publisher();
+    return;
+  }
+  // Sliding-window loss detection: a hole older than the window => NACK.
+  if (msg.pkt_id >= config_.nack_window) {
+    const std::size_t horizon = msg.pkt_id - config_.nack_window;
+    for (std::size_t i = 0; i <= horizon; ++i) {
+      if (!have_[i]) {
+        maybe_nack();
+        break;
+      }
+    }
+  }
+  // Tail repair: the last packet arrived but gaps remain.
+  if (static_cast<std::uint32_t>(msg.pkt_id) + 1 == total_packets_) maybe_nack();
+}
+
+void MoapNode::on_packet(const Packet& pkt) {
+  if (const auto* pub = pkt.as<net::MoapPublishMsg>()) {
+    handle_publish(pkt, *pub);
+  } else if (const auto* sub = pkt.as<net::MoapSubscribeMsg>()) {
+    handle_subscribe(pkt, *sub);
+  } else if (const auto* data = pkt.as<net::MoapDataMsg>()) {
+    handle_data(pkt, *data);
+  } else if (const auto* nack = pkt.as<net::MoapNackMsg>()) {
+    handle_nack(pkt, *nack);
+  }
+}
+
+}  // namespace mnp::baselines

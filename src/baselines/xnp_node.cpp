@@ -1,0 +1,177 @@
+#include "baselines/xnp_node.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "node/stats.hpp"
+
+namespace mnp::baselines {
+
+using net::Packet;
+
+XnpNode::XnpNode(XnpConfig config) : config_(config) {}
+
+XnpNode::XnpNode(XnpConfig config, std::shared_ptr<const core::ProgramImage> image)
+    : config_(config), image_(std::move(image)) {
+  assert(image_);
+  assert(image_->payload_bytes() == config_.payload_bytes);
+}
+
+void XnpNode::start(node::Node& node) {
+  node_ = &node;
+  node_->radio_on();
+  if (image_) {
+    total_packets_ = static_cast<std::uint32_t>(
+        (image_->total_bytes() + config_.payload_bytes - 1) / config_.payload_bytes);
+    node_->stats().on_completed(node_->id(), node_->now());
+    node_->stats().on_became_sender(node_->id(), node_->now());
+    pump_timer_ = node_->schedule(config_.pump_interval, [this] { pump_data(); });
+  }
+}
+
+bool XnpNode::has_complete_image() const {
+  if (image_) return true;
+  return total_packets_ > 0 && have_count_ == total_packets_;
+}
+
+std::size_t XnpNode::packets_received() const { return have_count_; }
+
+// --------------------------------------------------------------------------
+// base station
+// --------------------------------------------------------------------------
+
+void XnpNode::pump_data() {
+  if (done_) return;
+  while (node_->mac().queue_depth() < 2) {
+    // Retransmissions first, then the linear first pass.
+    std::uint16_t pkt_id;
+    if (!fix_queue_.empty()) {
+      pkt_id = fix_queue_.front();
+      fix_queue_.erase(fix_queue_.begin());
+    } else if (cursor_ < total_packets_) {
+      pkt_id = static_cast<std::uint16_t>(cursor_++);
+    } else {
+      break;
+    }
+    Packet pkt;
+    net::XnpDataMsg data;
+    data.pkt_id = pkt_id;
+    data.total_packets = static_cast<std::uint16_t>(total_packets_);
+    const std::size_t offset = static_cast<std::size_t>(pkt_id) * config_.payload_bytes;
+    const std::size_t len =
+        std::min(config_.payload_bytes, image_->total_bytes() - offset);
+    data.payload = {image_->bytes().begin() + static_cast<long>(offset),
+                    image_->bytes().begin() + static_cast<long>(offset + len)};
+    pkt.payload = std::move(data);
+    node_->send(std::move(pkt));
+  }
+  const bool pass_finished =
+      cursor_ >= total_packets_ && fix_queue_.empty() && node_->mac().idle();
+  if (pass_finished) {
+    query_timer_ = node_->schedule(config_.query_gap, [this] { start_query_round(); });
+    return;
+  }
+  pump_timer_ = node_->schedule(config_.pump_interval, [this] { pump_data(); });
+}
+
+void XnpNode::start_query_round() {
+  if (done_) return;
+  ++query_round_;
+  if (query_round_ > config_.max_query_rounds) {
+    done_ = true;
+    return;
+  }
+  if (round_had_requests_) {
+    quiet_rounds_ = 0;
+  } else if (query_round_ > 1) {
+    ++quiet_rounds_;
+    if (quiet_rounds_ >= config_.quiet_rounds_to_stop) {
+      done_ = true;
+      return;
+    }
+  }
+  round_had_requests_ = false;
+  Packet pkt;
+  pkt.payload = net::XnpQueryMsg{static_cast<std::uint16_t>(total_packets_)};
+  node_->send(std::move(pkt));
+  // Collect fix requests for a window, then retransmit and query again.
+  query_timer_ = node_->schedule(
+      config_.fix_request_window + config_.query_gap, [this] {
+        if (!fix_queue_.empty()) {
+          pump_timer_ =
+              node_->schedule(config_.pump_interval, [this] { pump_data(); });
+        } else {
+          start_query_round();
+        }
+      });
+}
+
+void XnpNode::handle_fix_request(const net::XnpFixRequestMsg& msg) {
+  if (!image_ || done_) return;
+  round_had_requests_ = true;
+  if (std::find(fix_queue_.begin(), fix_queue_.end(), msg.pkt_id) ==
+      fix_queue_.end()) {
+    fix_queue_.push_back(msg.pkt_id);
+  }
+}
+
+// --------------------------------------------------------------------------
+// receiver
+// --------------------------------------------------------------------------
+
+void XnpNode::handle_data(const net::XnpDataMsg& msg) {
+  if (image_) return;
+  if (total_packets_ == 0 && msg.total_packets > 0) {
+    total_packets_ = msg.total_packets;
+    have_.assign(total_packets_, false);
+    node_->meter().mark_first_advertisement(node_->now());
+  }
+  if (msg.pkt_id >= have_.size() || have_[msg.pkt_id]) return;
+  node_->eeprom().write(static_cast<std::size_t>(msg.pkt_id) * config_.payload_bytes,
+                        msg.payload);
+  have_[msg.pkt_id] = true;
+  ++have_count_;
+  if (have_count_ == total_packets_) {
+    node_->stats().on_completed(node_->id(), node_->now());
+    node_->stats().on_parent_set(node_->id(), 0);  // XNP: base is the parent
+  }
+}
+
+void XnpNode::handle_query(const net::XnpQueryMsg& msg) {
+  if (image_) return;
+  if (total_packets_ == 0 && msg.total_packets > 0) {
+    total_packets_ = msg.total_packets;
+    have_.assign(total_packets_, false);
+    node_->meter().mark_first_advertisement(node_->now());
+  }
+  if (total_packets_ == 0) return;
+  if (have_count_ == total_packets_) return;
+  // Answer with the first few missing packets after a random delay; the
+  // cap keeps the fix channel from imploding when many nodes have gaps.
+  const sim::Time delay = node_->rng().uniform_int(0, config_.fix_request_window);
+  fix_timer_ = node_->schedule(delay, [this] {
+    std::size_t sent = 0;
+    for (std::size_t i = 0;
+         i < have_.size() && sent < config_.fix_requests_per_query; ++i) {
+      if (!have_[i]) {
+        Packet pkt;
+        pkt.payload = net::XnpFixRequestMsg{static_cast<std::uint16_t>(i)};
+        node_->send(std::move(pkt));
+        ++sent;
+      }
+    }
+  });
+}
+
+void XnpNode::on_packet(const Packet& pkt) {
+  if (const auto* data = pkt.as<net::XnpDataMsg>()) {
+    handle_data(*data);
+  } else if (const auto* query = pkt.as<net::XnpQueryMsg>()) {
+    handle_query(*query);
+  } else if (const auto* fix = pkt.as<net::XnpFixRequestMsg>()) {
+    handle_fix_request(*fix);
+  }
+}
+
+}  // namespace mnp::baselines

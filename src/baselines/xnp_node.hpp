@@ -1,0 +1,81 @@
+// XNP baseline: TinyOS 1.x single-hop network reprogramming.
+//
+// The base station broadcasts the entire image packet by packet, then runs
+// query/fix rounds: it broadcasts a query, nodes with gaps answer with fix
+// requests (randomly delayed to avoid implosion), and the base rebroadcasts
+// the requested packets. There is no multihop forwarding whatsoever — only
+// nodes inside the base station's radio range ever complete, which is
+// exactly the limitation that motivates MNP.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mnp/program_image.hpp"
+#include "node/application.hpp"
+#include "node/node.hpp"
+
+namespace mnp::baselines {
+
+struct XnpConfig {
+  std::size_t payload_bytes = 22;
+  sim::Time pump_interval = sim::msec(10);
+  /// Pause between the data pass and the first query round.
+  sim::Time query_gap = sim::msec(500);
+  /// Fix requests are spread over this window after a query.
+  sim::Time fix_request_window = sim::msec(400);
+  /// The base stops querying after this many consecutive silent rounds.
+  int quiet_rounds_to_stop = 8;
+  int max_query_rounds = 200;
+  /// Missing packets a receiver may claim per query round.
+  std::size_t fix_requests_per_query = 4;
+};
+
+class XnpNode final : public node::Application {
+ public:
+  /// Receiver.
+  explicit XnpNode(XnpConfig config);
+  /// Base station.
+  XnpNode(XnpConfig config, std::shared_ptr<const core::ProgramImage> image);
+
+  void start(node::Node& node) override;
+  void on_packet(const net::Packet& pkt) override;
+  bool has_complete_image() const override;
+
+  bool is_base() const { return static_cast<bool>(image_); }
+  std::size_t packets_received() const;
+  /// Base-side introspection for tests: query rounds run so far and
+  /// whether the base has concluded the session.
+  int query_rounds() const { return query_round_; }
+  bool session_done() const { return done_; }
+
+ private:
+  void pump_data();
+  void start_query_round();
+  void handle_data(const net::XnpDataMsg& msg);
+  void handle_query(const net::XnpQueryMsg& msg);
+  void handle_fix_request(const net::XnpFixRequestMsg& msg);
+
+  XnpConfig config_;
+  std::shared_ptr<const core::ProgramImage> image_;
+  node::Node* node_ = nullptr;
+
+  std::uint32_t total_packets_ = 0;  // receivers learn this from pkt ids seen
+  std::vector<bool> have_;          // receiver-side packet map
+  std::size_t have_count_ = 0;
+  bool saw_last_packet_ = false;
+
+  // Base-side streaming / query machinery.
+  std::uint32_t cursor_ = 0;
+  std::vector<std::uint16_t> fix_queue_;
+  int query_round_ = 0;
+  int quiet_rounds_ = 0;
+  bool round_had_requests_ = false;
+  bool done_ = false;
+  sim::EventHandle pump_timer_;
+  sim::EventHandle query_timer_;
+  sim::EventHandle fix_timer_;
+};
+
+}  // namespace mnp::baselines

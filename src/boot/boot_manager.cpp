@@ -1,0 +1,129 @@
+#include "boot/boot_manager.hpp"
+
+#include <cassert>
+
+#include "util/crc32.hpp"
+
+namespace mnp::boot {
+
+namespace {
+
+constexpr std::uint16_t kMagicEmpty = 0;  // program id 0 = empty slot
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return static_cast<std::uint32_t>(in[at]) |
+         (static_cast<std::uint32_t>(in[at + 1]) << 8) |
+         (static_cast<std::uint32_t>(in[at + 2]) << 16) |
+         (static_cast<std::uint32_t>(in[at + 3]) << 24);
+}
+
+}  // namespace
+
+BootManager::BootManager(storage::Eeprom& eeprom, std::size_t slot_capacity)
+    : eeprom_(eeprom), slot_capacity_(slot_capacity) {
+  assert(slot_capacity_ > ImageHeader::kBytes);
+  assert(2 * slot_capacity_ <= eeprom_.capacity());
+}
+
+std::size_t BootManager::staging_payload_offset() const {
+  return staging_offset() + ImageHeader::kBytes;
+}
+
+void BootManager::write_header(std::size_t slot_offset, const ImageHeader& h) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(ImageHeader::kBytes);
+  put_u16(bytes, h.program_id);
+  put_u16(bytes, h.version);
+  put_u32(bytes, h.length);
+  put_u32(bytes, h.crc);
+  eeprom_.write(slot_offset, bytes);
+}
+
+std::optional<ImageHeader> BootManager::read_header(std::size_t slot_offset) {
+  const auto bytes = eeprom_.read(slot_offset, ImageHeader::kBytes);
+  if (bytes.size() != ImageHeader::kBytes) return std::nullopt;
+  ImageHeader h;
+  h.program_id = get_u16(bytes, 0);
+  h.version = get_u16(bytes, 2);
+  h.length = get_u32(bytes, 4);
+  h.crc = get_u32(bytes, 8);
+  if (h.program_id == kMagicEmpty) return std::nullopt;
+  if (h.length > max_image_bytes()) return std::nullopt;  // garbage header
+  return h;
+}
+
+bool BootManager::slot_valid(std::size_t slot_offset) {
+  const auto header = read_header(slot_offset);
+  if (!header) return false;
+  const auto payload =
+      eeprom_.read(slot_offset + ImageHeader::kBytes, header->length);
+  return util::crc32(payload) == header->crc;
+}
+
+bool BootManager::commit_staging(std::uint16_t program_id,
+                                 std::uint16_t version, std::uint32_t length) {
+  if (program_id == kMagicEmpty) return false;
+  if (length > max_image_bytes()) return false;
+  const auto payload = eeprom_.read(staging_payload_offset(), length);
+  ImageHeader h;
+  h.program_id = program_id;
+  h.version = version;
+  h.length = length;
+  h.crc = util::crc32(payload);
+  write_header(staging_offset(), h);
+  return true;
+}
+
+std::optional<ImageHeader> BootManager::staged_header() {
+  return read_header(staging_offset());
+}
+
+bool BootManager::staging_valid() { return slot_valid(staging_offset()); }
+
+bool BootManager::install() {
+  const auto header = staged_header();
+  if (!header || !staging_valid()) return false;
+  // Promote: copy payload then header (header last, so a partial copy is
+  // never presented as a valid golden image).
+  const auto payload =
+      eeprom_.read(staging_payload_offset(), header->length);
+  eeprom_.write(golden_offset() + ImageHeader::kBytes, payload);
+  write_header(golden_offset(), *header);
+  erase_staging();
+  ++installs_;
+  return true;
+}
+
+void BootManager::erase_staging() {
+  write_header(staging_offset(), ImageHeader{});  // program id 0 = empty
+}
+
+std::optional<ImageHeader> BootManager::golden_header() {
+  return read_header(golden_offset());
+}
+
+std::vector<std::uint8_t> BootManager::golden_payload() {
+  const auto header = golden_header();
+  if (!header) return {};
+  return eeprom_.read(golden_offset() + ImageHeader::kBytes, header->length);
+}
+
+bool BootManager::golden_valid() { return slot_valid(golden_offset()); }
+
+}  // namespace mnp::boot

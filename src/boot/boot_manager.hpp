@@ -1,0 +1,87 @@
+// Boot manager: the mote-side installation half of reprogramming.
+//
+// The paper ends dissemination at "reboot with the new program only when
+// it receives an external start signal"; on a real mote that reboot runs
+// a bootloader that validates the staged image in external flash and
+// copies it into program memory, keeping a golden image for rollback.
+// This module is that bootloader's flash-management logic:
+//
+//   EEPROM layout:  [ golden slot | staging slot ]
+//   each slot:      [ 12-byte header | payload... ]
+//
+// A dissemination protocol writes raw payload bytes into the staging
+// slot (MnpConfig::eeprom_base_offset = staging_payload_offset()), the
+// application commits a header over it, and the external start signal
+// triggers install(), which validates the CRC and promotes staging to
+// golden. rollback() re-activates the previous golden image.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "storage/eeprom.hpp"
+
+namespace mnp::boot {
+
+struct ImageHeader {
+  std::uint16_t program_id = 0;
+  std::uint16_t version = 0;
+  std::uint32_t length = 0;
+  std::uint32_t crc = 0;
+
+  static constexpr std::size_t kBytes = 12;
+};
+
+class BootManager {
+ public:
+  /// Divides `eeprom` into two `slot_capacity`-byte slots starting at
+  /// offset 0. `slot_capacity` includes the header.
+  BootManager(storage::Eeprom& eeprom, std::size_t slot_capacity);
+
+  std::size_t slot_capacity() const { return slot_capacity_; }
+  /// Largest payload a slot can hold.
+  std::size_t max_image_bytes() const { return slot_capacity_ - ImageHeader::kBytes; }
+
+  /// Where a dissemination protocol should write incoming payload bytes.
+  std::size_t staging_payload_offset() const;
+
+  /// Seals the staging slot: computes the payload CRC and writes the
+  /// header. Returns false if `length` exceeds the slot.
+  bool commit_staging(std::uint16_t program_id, std::uint16_t version,
+                      std::uint32_t length);
+
+  /// Header of the staged image, if one was committed.
+  std::optional<ImageHeader> staged_header();
+  /// True if the staged payload matches its committed header CRC.
+  bool staging_valid();
+
+  /// The "external start signal": validates staging and promotes it to
+  /// golden (the previous golden is overwritten; its header is preserved
+  /// in RAM for rollback bookkeeping). Returns false if staging is
+  /// missing or corrupt — the mote keeps running the golden image.
+  bool install();
+
+  /// Discards the staged image.
+  void erase_staging();
+
+  std::optional<ImageHeader> golden_header();
+  /// Payload of the golden image ({} if none installed).
+  std::vector<std::uint8_t> golden_payload();
+  bool golden_valid();
+
+  /// Versions installed over this manager's lifetime (install count).
+  std::uint32_t installs() const { return installs_; }
+
+ private:
+  std::size_t golden_offset() const { return 0; }
+  std::size_t staging_offset() const { return slot_capacity_; }
+  void write_header(std::size_t slot_offset, const ImageHeader& header);
+  std::optional<ImageHeader> read_header(std::size_t slot_offset);
+  bool slot_valid(std::size_t slot_offset);
+
+  storage::Eeprom& eeprom_;
+  std::size_t slot_capacity_;
+  std::uint32_t installs_ = 0;
+};
+
+}  // namespace mnp::boot

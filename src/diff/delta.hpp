@@ -1,0 +1,69 @@
+// Difference-based code updates.
+//
+// The paper's related-work section splits reprogramming into *entire code
+// delivery* (MNP, Deluge, MOAP, XNP) and *difference-based adjustment*
+// (Reijers & Langendoen) and notes MNP is complementary: its dissemination
+// can carry a version delta instead of the full image. This module is
+// that complement — an rsync-style block-matching encoder producing a
+// compact delta a node applies against the image it already runs.
+//
+//   Delta delta = Delta::compute(v1_bytes, v2_bytes);
+//   std::vector<uint8_t> wire = delta.serialize();   // disseminate via MNP
+//   ...
+//   Delta parsed = *Delta::parse(wire);
+//   std::vector<uint8_t> v2 = parsed.apply(v1_bytes);
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+namespace mnp::diff {
+
+/// Reuse `length` bytes starting at `old_offset` of the installed image.
+struct CopyOp {
+  std::uint32_t old_offset = 0;
+  std::uint32_t length = 0;
+};
+
+/// Splice in bytes that exist only in the new image.
+struct LiteralOp {
+  std::vector<std::uint8_t> bytes;
+};
+
+using Op = std::variant<CopyOp, LiteralOp>;
+
+class Delta {
+ public:
+  /// Block-matching encoder. Blocks of `block_size` bytes of the old
+  /// image are indexed by hash; the new image is scanned greedily, and
+  /// matches are extended byte-wise as far as they verify. Smaller blocks
+  /// find more reuse but cost more per-op overhead.
+  static Delta compute(const std::vector<std::uint8_t>& old_image,
+                       const std::vector<std::uint8_t>& new_image,
+                       std::size_t block_size = 32);
+
+  /// Reconstructs the new image from the installed one. Returns an empty
+  /// vector if any op reads outside `old_image` (corrupt delta).
+  std::vector<std::uint8_t> apply(const std::vector<std::uint8_t>& old_image) const;
+
+  /// Wire form: [op-count u32] then per op a tag byte ('C'/'L') and its
+  /// fields in little-endian. This byte string is what gets disseminated.
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<Delta> parse(const std::vector<std::uint8_t>& bytes);
+
+  const std::vector<Op>& ops() const { return ops_; }
+  std::size_t serialized_size() const;
+  /// Bytes of the new image covered by copies (the savings measure).
+  std::size_t copied_bytes() const;
+  std::size_t literal_bytes() const;
+
+  void append_copy(std::uint32_t old_offset, std::uint32_t length);
+  void append_literal(const std::uint8_t* data, std::size_t length);
+
+ private:
+  std::vector<Op> ops_;
+};
+
+}  // namespace mnp::diff

@@ -1,0 +1,53 @@
+#include "energy/energy_meter.hpp"
+
+namespace mnp::energy {
+
+void EnergyMeter::radio_became_active(sim::Time now) {
+  if (radio_active_) return;
+  radio_active_ = true;
+  active_since_ = now;
+}
+
+void EnergyMeter::radio_became_inactive(sim::Time now) {
+  if (!radio_active_) return;
+  radio_active_ = false;
+  const sim::Time span = now - active_since_;
+  accumulated_active_ += span;
+  if (first_adv_time_ < 0) {
+    active_before_first_adv_ += span;
+  }
+}
+
+void EnergyMeter::mark_first_advertisement(sim::Time now) {
+  if (first_adv_time_ >= 0) return;
+  first_adv_time_ = now;
+  if (radio_active_) {
+    // Split the in-progress active interval at the advertisement instant.
+    active_before_first_adv_ += now - active_since_;
+    accumulated_active_ += now - active_since_;
+    active_since_ = now;
+  }
+}
+
+sim::Time EnergyMeter::active_radio_time(sim::Time now) const {
+  sim::Time total = accumulated_active_;
+  if (radio_active_) total += now - active_since_;
+  return total;
+}
+
+sim::Time EnergyMeter::active_radio_time_after_first_adv(sim::Time now) const {
+  if (first_adv_time_ < 0) return 0;  // never heard one: all time is "initial"
+  return active_radio_time(now) - active_before_first_adv_;
+}
+
+double EnergyMeter::total_nah(sim::Time now) const {
+  double total = 0.0;
+  total += model_.tx_packet_nah * static_cast<double>(tx_packets_);
+  total += model_.rx_packet_nah * static_cast<double>(rx_packets_);
+  total += model_.idle_cost_nah(active_radio_time(now));
+  total += model_.eeprom_read_16b_nah * static_cast<double>(eeprom_read_lines_);
+  total += model_.eeprom_write_16b_nah * static_cast<double>(eeprom_write_lines_);
+  return total;
+}
+
+}  // namespace mnp::energy

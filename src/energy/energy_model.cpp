@@ -1,0 +1,5 @@
+#include "energy/energy_model.hpp"
+
+// Header-only today; this TU pins the library and keeps a build slot for
+// future non-inline pricing policies (e.g., per-power-level TX cost).
+namespace mnp::energy {}

@@ -1,0 +1,43 @@
+#include "harness/csv.hpp"
+
+#include <ostream>
+
+namespace mnp::harness {
+
+void write_nodes_csv(std::ostream& os, const RunResult& r) {
+  os << "node,row,col,completion_s,art_s,art_post_adv_s,parent,tx_total,"
+        "rx_total,tx_data,energy_nah,verified\n";
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    const NodeResult& n = r.nodes[i];
+    os << i << ',' << (r.cols ? i / r.cols : 0) << ','
+       << (r.cols ? i % r.cols : 0) << ','
+       << (n.completion >= 0 ? sim::to_seconds(n.completion) : -1.0) << ','
+       << sim::to_seconds(n.active_radio) << ','
+       << sim::to_seconds(n.active_radio_after_first_adv) << ',' << n.parent
+       << ',' << n.tx_total << ',' << n.rx_total << ',' << n.tx_data << ','
+       << n.energy_nah << ',' << (n.image_verified ? 1 : 0) << '\n';
+  }
+}
+
+void write_timeline_csv(std::ostream& os, const RunResult& r) {
+  os << "minute,advertisements,requests,data,other\n";
+  for (const auto& [minute, counts] : r.timeline) {
+    os << minute << ',' << counts[0] << ',' << counts[1] << ',' << counts[2]
+       << ',' << counts[3] << '\n';
+  }
+}
+
+void write_summary_csv(std::ostream& os, const char* label, const RunResult& r) {
+  os << "label,nodes,completed,verified,completion_s,avg_art_s,"
+        "avg_art_post_adv_s,avg_msgs,transmissions,collisions,bulk_overlaps,"
+        "total_energy_nah\n";
+  os << label << ',' << r.nodes.size() << ',' << r.completed_count << ','
+     << r.verified_count() << ','
+     << (r.completion_time >= 0 ? sim::to_seconds(r.completion_time) : -1.0)
+     << ',' << r.avg_active_radio_s() << ',' << r.avg_active_radio_after_adv_s()
+     << ',' << r.avg_messages_sent() << ',' << r.transmissions << ','
+     << r.collisions << ',' << r.bulk_overlaps << ',' << r.total_energy_nah()
+     << '\n';
+}
+
+}  // namespace mnp::harness

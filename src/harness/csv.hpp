@@ -1,0 +1,21 @@
+// CSV export of run results — machine-readable companions to the ASCII
+// reports, for plotting the paper's figures with external tools.
+#pragma once
+
+#include <iosfwd>
+
+#include "harness/metrics.hpp"
+
+namespace mnp::harness {
+
+/// One row per node: id, row, col, completion_s, art_s, art_post_adv_s,
+/// parent, tx_total, rx_total, tx_data, energy_nah, verified.
+void write_nodes_csv(std::ostream& os, const RunResult& r);
+
+/// One row per minute: minute, advertisements, requests, data, other.
+void write_timeline_csv(std::ostream& os, const RunResult& r);
+
+/// One summary row (header + one line) for cross-run tables.
+void write_summary_csv(std::ostream& os, const char* label, const RunResult& r);
+
+}  // namespace mnp::harness

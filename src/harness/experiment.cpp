@@ -1,0 +1,185 @@
+#include "harness/experiment.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "mnp/mnp_node.hpp"
+#include "mnp/program_image.hpp"
+#include "net/tdma_mac.hpp"
+#include "node/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mnp::harness {
+
+const char* protocol_name(Protocol p) {
+  switch (p) {
+    case Protocol::kMnp: return "MNP";
+    case Protocol::kDeluge: return "Deluge";
+    case Protocol::kMoap: return "MOAP";
+    case Protocol::kXnp: return "XNP";
+  }
+  return "?";
+}
+
+namespace {
+
+std::uint16_t image_packets_per_segment(const ExperimentConfig& cfg) {
+  switch (cfg.protocol) {
+    case Protocol::kDeluge:
+      return cfg.deluge.packets_per_page;
+    default:
+      // MOAP/XNP stream linearly; segment geometry only shapes the image
+      // container, so MNP's layout works for them too.
+      return cfg.mnp.packets_per_segment;
+  }
+}
+
+std::size_t image_payload_bytes(const ExperimentConfig& cfg) {
+  switch (cfg.protocol) {
+    case Protocol::kMnp: return cfg.mnp.payload_bytes;
+    case Protocol::kDeluge: return cfg.deluge.payload_bytes;
+    case Protocol::kMoap: return cfg.moap.payload_bytes;
+    case Protocol::kXnp: return cfg.xnp.payload_bytes;
+  }
+  return 22;
+}
+
+void install_protocol(const ExperimentConfig& cfg, node::Network& network,
+                      const std::shared_ptr<const core::ProgramImage>& image) {
+  for (net::NodeId id = 0; id < network.size(); ++id) {
+    const bool is_base = id == cfg.base;
+    std::unique_ptr<node::Application> app;
+    switch (cfg.protocol) {
+      case Protocol::kMnp: {
+        auto mnp_app = is_base
+                           ? std::make_unique<core::MnpNode>(cfg.mnp, image)
+                           : std::make_unique<core::MnpNode>(cfg.mnp);
+        if (!cfg.battery_levels.empty() && id < cfg.battery_levels.size()) {
+          mnp_app->set_battery_level(cfg.battery_levels[id]);
+        }
+        app = std::move(mnp_app);
+        break;
+      }
+      case Protocol::kDeluge:
+        app = is_base
+                  ? std::make_unique<baselines::DelugeNode>(cfg.deluge, image)
+                  : std::make_unique<baselines::DelugeNode>(cfg.deluge);
+        break;
+      case Protocol::kMoap:
+        app = is_base ? std::make_unique<baselines::MoapNode>(cfg.moap, image)
+                      : std::make_unique<baselines::MoapNode>(cfg.moap);
+        break;
+      case Protocol::kXnp:
+        app = is_base ? std::make_unique<baselines::XnpNode>(cfg.xnp, image)
+                      : std::make_unique<baselines::XnpNode>(cfg.xnp);
+        break;
+    }
+    network.node(id).set_application(std::move(app));
+  }
+}
+
+}  // namespace
+
+RunResult run_experiment(const ExperimentConfig& cfg) {
+  sim::Simulator sim(cfg.seed);
+  net::Topology topo = net::Topology::grid(cfg.rows, cfg.cols, cfg.spacing_ft);
+
+  const auto make_links =
+      [&cfg, &sim](const net::Topology& owned) -> std::unique_ptr<net::LinkModel> {
+    if (cfg.empirical_links) {
+      net::EmpiricalLinkModel::Params lp;
+      lp.range_ft = cfg.range_ft;
+      lp.interference_factor = cfg.interference_factor;
+      lp.edge_noise_stddev = cfg.link_noise_stddev;
+      return std::make_unique<net::EmpiricalLinkModel>(owned, lp,
+                                                       sim.fork_rng(0x11A7ULL));
+    }
+    return std::make_unique<net::DiskLinkModel>(owned, cfg.range_ft,
+                                                cfg.interference_factor);
+  };
+
+  node::Node::MacFactory mac_factory;  // null => CSMA
+  if (cfg.mac == MacType::kTdma) {
+    const std::uint32_t m = net::TdmaMac::tile_for_grid(
+        cfg.spacing_ft, cfg.range_ft, cfg.interference_factor);
+    mac_factory = [&cfg, m](net::NodeId id, net::Radio& radio,
+                            sim::Simulator& s) -> std::unique_ptr<net::Mac> {
+      net::TdmaMac::Params mp;
+      mp.slot_duration = cfg.tdma_slot;
+      mp.frame_slots = m * m;
+      mp.my_slot = net::TdmaMac::slot_for(id / cfg.cols, id % cfg.cols, m);
+      return std::make_unique<net::TdmaMac>(radio, s.scheduler(), mp);
+    };
+  }
+
+  node::Network network(sim, std::move(topo), make_links, {}, {}, mac_factory);
+
+  auto image = std::make_shared<const core::ProgramImage>(
+      cfg.program_id, cfg.program_bytes, image_packets_per_segment(cfg),
+      image_payload_bytes(cfg));
+  install_protocol(cfg, network, image);
+  network.boot_all(cfg.boot_jitter);
+
+  node::StatsCollector& stats = network.stats();
+  sim.run_until_condition(cfg.max_sim_time,
+                          [&stats] { return stats.all_completed(); });
+
+  // ---- capture metrics (before any verification EEPROM reads) -----------
+  RunResult result;
+  result.rows = cfg.rows;
+  result.cols = cfg.cols;
+  result.measured_at = sim.now();
+  result.all_completed = stats.all_completed();
+  result.completed_count = stats.completed_count();
+  result.completion_time = stats.completion_time();
+  result.sender_order = stats.sender_order();
+  result.timeline = stats.timeline();
+  result.transmissions = network.channel().transmissions();
+  result.deliveries = network.channel().deliveries();
+  result.collisions = network.channel().collisions();
+  result.bulk_overlaps = network.channel().concurrent_bulk_overlaps();
+
+  result.nodes.resize(network.size());
+  for (net::NodeId id = 0; id < network.size(); ++id) {
+    const node::NodeStats& ns = stats.node(id);
+    node::Node& n = network.node(id);
+    NodeResult& out = result.nodes[id];
+    out.completion = ns.completion_time;
+    out.active_radio = n.meter().active_radio_time(sim.now());
+    out.active_radio_after_first_adv =
+        n.meter().active_radio_time_after_first_adv(sim.now());
+    out.parent = ns.parent;
+    out.became_sender = ns.became_sender;
+    out.tx_total = ns.total_sent();
+    out.rx_total = ns.total_received();
+    out.tx_adv = ns.sent_of(net::PacketType::kAdvertisement) +
+                 ns.sent_of(net::PacketType::kDelugeSummary) +
+                 ns.sent_of(net::PacketType::kMoapPublish);
+    out.tx_req = ns.sent_of(net::PacketType::kDownloadRequest) +
+                 ns.sent_of(net::PacketType::kDelugeRequest) +
+                 ns.sent_of(net::PacketType::kMoapSubscribe) +
+                 ns.sent_of(net::PacketType::kMoapNack) +
+                 ns.sent_of(net::PacketType::kXnpFixRequest);
+    out.tx_data = ns.sent_of(net::PacketType::kData) +
+                  ns.sent_of(net::PacketType::kDelugeData) +
+                  ns.sent_of(net::PacketType::kMoapData) +
+                  ns.sent_of(net::PacketType::kXnpData);
+    out.eeprom_writes = n.eeprom().total_writes();
+    out.collisions_suffered = ns.collisions_suffered;
+    out.energy_nah = n.meter().total_nah(sim.now());
+  }
+
+  // ---- verify images byte-exactly (accuracy requirement) ----------------
+  for (net::NodeId id = 0; id < network.size(); ++id) {
+    if (id == cfg.base) {
+      result.nodes[id].image_verified = true;
+      continue;
+    }
+    if (result.nodes[id].completion < 0) continue;
+    auto stored = network.node(id).eeprom().read(0, image->total_bytes());
+    result.nodes[id].image_verified = image->matches(stored);
+  }
+  return result;
+}
+
+}  // namespace mnp::harness

@@ -1,0 +1,76 @@
+// Experiment harness: builds a network, installs a protocol, runs the
+// dissemination to completion (or a deadline), and extracts every metric
+// the paper's evaluation section reports.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/deluge_node.hpp"
+#include "baselines/moap_node.hpp"
+#include "baselines/xnp_node.hpp"
+#include "harness/metrics.hpp"
+#include "mnp/mnp_config.hpp"
+#include "net/link_model.hpp"
+
+namespace mnp::harness {
+
+enum class Protocol { kMnp, kDeluge, kMoap, kXnp };
+
+/// Medium access: TinyOS-style CSMA (the paper's implementation) or the
+/// SS-TDMA slotted MAC its conclusion proposes pairing MNP with.
+enum class MacType { kCsma, kTdma };
+
+const char* protocol_name(Protocol p);
+
+struct ExperimentConfig {
+  Protocol protocol = Protocol::kMnp;
+
+  // --- deployment -----------------------------------------------------
+  std::size_t rows = 10;
+  std::size_t cols = 10;
+  double spacing_ft = 10.0;       // paper simulations: 10 ft grid
+  net::NodeId base = 0;           // base station node index
+
+  // --- medium access ------------------------------------------------------
+  MacType mac = MacType::kCsma;
+  /// TDMA slot length (must cover the longest packet's airtime + guard).
+  sim::Time tdma_slot = sim::msec(30);
+
+  // --- radio ------------------------------------------------------------
+  double range_ft = 25.0;         // communication range (power level knob)
+  double interference_factor = 1.6;
+  bool empirical_links = true;    // false => ideal disk model
+  double link_noise_stddev = 0.08;
+
+  // --- program -----------------------------------------------------------
+  std::uint16_t program_id = 7;
+  std::size_t program_bytes = 5 * 128 * 22;  // 5 MNP segments (~14 KB)
+
+  // --- run control -----------------------------------------------------
+  std::uint64_t seed = 1;
+  sim::Time max_sim_time = sim::hours(4);
+  sim::Time boot_jitter = sim::msec(500);
+
+  // --- protocol knobs ------------------------------------------------------
+  core::MnpConfig mnp;
+  baselines::DelugeConfig deluge;
+  baselines::MoapConfig moap;
+  baselines::XnpConfig xnp;
+
+  /// Battery-aware extension: per-node remaining-charge fractions
+  /// (empty = everyone full). Only meaningful with mnp.battery_aware.
+  std::vector<double> battery_levels;
+
+  /// Convenience: size the program as N MNP segments.
+  void set_program_segments(std::uint16_t segments) {
+    program_bytes = static_cast<std::size_t>(segments) *
+                    mnp.packets_per_segment * mnp.payload_bytes;
+  }
+};
+
+/// Runs one dissemination to completion (all nodes hold the image) or to
+/// config.max_sim_time / event exhaustion, whichever comes first.
+RunResult run_experiment(const ExperimentConfig& config);
+
+}  // namespace mnp::harness

@@ -1,0 +1,42 @@
+#include "harness/metrics.hpp"
+
+namespace mnp::harness {
+
+double RunResult::avg_active_radio_s() const {
+  if (nodes.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& n : nodes) total += sim::to_seconds(n.active_radio);
+  return total / static_cast<double>(nodes.size());
+}
+
+double RunResult::avg_active_radio_after_adv_s() const {
+  if (nodes.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& n : nodes) {
+    total += sim::to_seconds(n.active_radio_after_first_adv);
+  }
+  return total / static_cast<double>(nodes.size());
+}
+
+double RunResult::avg_messages_sent() const {
+  if (nodes.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& n : nodes) total += static_cast<double>(n.tx_total);
+  return total / static_cast<double>(nodes.size());
+}
+
+double RunResult::total_energy_nah() const {
+  double total = 0.0;
+  for (const auto& n : nodes) total += n.energy_nah;
+  return total;
+}
+
+std::size_t RunResult::verified_count() const {
+  std::size_t count = 0;
+  for (const auto& n : nodes) {
+    if (n.image_verified) ++count;
+  }
+  return count;
+}
+
+}  // namespace mnp::harness

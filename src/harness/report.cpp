@@ -1,0 +1,140 @@
+#include "harness/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+
+#include "util/ascii_grid.hpp"
+
+namespace mnp::harness {
+
+void print_summary(std::ostream& os, const char* title, const RunResult& r) {
+  os << "== " << title << " ==\n";
+  os << "  nodes: " << r.nodes.size() << " (" << r.rows << "x" << r.cols
+     << "), completed: " << r.completed_count << ", verified byte-exact: "
+     << r.verified_count() << "\n";
+  os << "  completion time: " << sim::format_time(r.completion_time)
+     << "  (measured at " << sim::format_time(r.measured_at) << ")\n";
+  os << "  avg active radio time: " << std::fixed << std::setprecision(1)
+     << r.avg_active_radio_s() << " s"
+     << "  (w/o initial idle listening: " << r.avg_active_radio_after_adv_s()
+     << " s)\n";
+  os << "  avg messages sent/node: " << std::setprecision(1)
+     << r.avg_messages_sent() << ", channel transmissions: " << r.transmissions
+     << ", deliveries: " << r.deliveries << "\n";
+  os << "  collisions: " << r.collisions
+     << ", concurrent bulk-sender overlaps: " << r.bulk_overlaps << "\n";
+  os << "  total energy: " << std::setprecision(0) << r.total_energy_nah()
+     << " nAh (avg " << r.total_energy_nah() / static_cast<double>(r.nodes.size())
+     << " nAh/node)\n";
+}
+
+void print_parent_map(std::ostream& os, const RunResult& r, net::NodeId base) {
+  std::vector<int> parents;
+  parents.reserve(r.nodes.size());
+  for (const auto& n : r.nodes) parents.push_back(n.parent);
+  os << "parent map (arrow points toward the node's parent, B = base):\n";
+  os << util::render_parent_arrows(r.rows, r.cols, parents,
+                                   static_cast<int>(base));
+}
+
+void print_sender_order(std::ostream& os, const RunResult& r) {
+  // The paper computes sender order from the parent attribution: a node
+  // counts as a sender only if some node actually received its code from
+  // it. Rank those effective senders by the time they first forwarded.
+  std::vector<bool> is_parent(r.nodes.size(), false);
+  for (const auto& n : r.nodes) {
+    if (n.parent >= 0 && static_cast<std::size_t>(n.parent) < r.nodes.size()) {
+      is_parent[static_cast<std::size_t>(n.parent)] = true;
+    }
+  }
+  std::vector<int> rank(r.nodes.size(), -1);
+  int next_rank = 0;
+  std::size_t forwarders = 0;
+  for (const net::NodeId id : r.sender_order) {
+    ++forwarders;
+    if (is_parent[id]) rank[id] = next_rank++;
+  }
+  os << "sender order (rank among nodes somebody took code from; '.' = not a parent):\n";
+  os << util::render_grid(r.rows, r.cols, [&](std::size_t row, std::size_t col) {
+    const int v = rank[row * r.cols + col];
+    return v < 0 ? std::string(".") : std::to_string(v);
+  });
+  os << "effective senders (parents): " << next_rank << " of " << r.nodes.size()
+     << " nodes (" << forwarders << " forwarded at least once)\n";
+}
+
+void print_active_radio(std::ostream& os, const RunResult& r) {
+  double max_art = 0.0;
+  for (const auto& n : r.nodes) {
+    max_art = std::max(max_art, sim::to_seconds(n.active_radio));
+  }
+  os << "active radio time by node id (s):\n";
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    os << std::setw(7) << std::fixed << std::setprecision(1)
+       << sim::to_seconds(r.nodes[i].active_radio);
+    if ((i + 1) % r.cols == 0) os << "\n";
+  }
+  os << "heat map (dark = more active radio time), by location:\n";
+  std::vector<double> values;
+  values.reserve(r.nodes.size());
+  for (const auto& n : r.nodes) values.push_back(sim::to_seconds(n.active_radio));
+  os << util::render_heatmap(r.rows, r.cols, values, 0.0, max_art);
+  os << "avg: " << r.avg_active_radio_s()
+     << " s; avg w/o initial idle: " << r.avg_active_radio_after_adv_s()
+     << " s\n";
+}
+
+void print_tx_rx_distribution(std::ostream& os, const RunResult& r) {
+  double max_tx = 0.0, max_rx = 0.0;
+  for (const auto& n : r.nodes) {
+    max_tx = std::max(max_tx, static_cast<double>(n.tx_total));
+    max_rx = std::max(max_rx, static_cast<double>(n.rx_total));
+  }
+  std::vector<double> tx, rx;
+  for (const auto& n : r.nodes) {
+    tx.push_back(static_cast<double>(n.tx_total));
+    rx.push_back(static_cast<double>(n.rx_total));
+  }
+  os << "messages transmitted, by location (max " << max_tx << "):\n"
+     << util::render_heatmap(r.rows, r.cols, tx, 0.0, max_tx);
+  os << "messages received, by location (max " << max_rx << "):\n"
+     << util::render_heatmap(r.rows, r.cols, rx, 0.0, max_rx);
+  os << "tx counts per node:\n";
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    os << std::setw(7) << r.nodes[i].tx_total;
+    if ((i + 1) % r.cols == 0) os << "\n";
+  }
+}
+
+void print_timeline(std::ostream& os, const RunResult& r) {
+  os << "minute | advertisements | requests | data | other\n";
+  for (const auto& [minute, counts] : r.timeline) {
+    os << std::setw(6) << minute << " | " << std::setw(14) << counts[0]
+       << " | " << std::setw(8) << counts[1] << " | " << std::setw(4)
+       << counts[2] << " | " << counts[3] << "\n";
+  }
+}
+
+void print_propagation_snapshots(std::ostream& os, const RunResult& r,
+                                 const std::vector<double>& fractions) {
+  const sim::Time total =
+      r.completion_time >= 0 ? r.completion_time : r.measured_at;
+  for (double f : fractions) {
+    const auto cutoff = static_cast<sim::Time>(static_cast<double>(total) * f);
+    std::size_t done = 0;
+    std::vector<double> values;
+    values.reserve(r.nodes.size());
+    for (const auto& n : r.nodes) {
+      const bool complete = n.completion >= 0 && n.completion <= cutoff;
+      values.push_back(complete ? 1.0 : 0.0);
+      if (complete) ++done;
+    }
+    os << "at " << static_cast<int>(f * 100) << "% of time ("
+       << sim::format_time(cutoff) << "): " << done << "/" << r.nodes.size()
+       << " nodes have the code\n";
+    os << util::render_heatmap(r.rows, r.cols, values, 0.0, 1.0);
+  }
+}
+
+}  // namespace mnp::harness

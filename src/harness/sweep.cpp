@@ -1,0 +1,52 @@
+#include "harness/sweep.hpp"
+
+#include <cstdio>
+#include <set>
+
+namespace mnp::harness {
+
+namespace {
+
+std::size_t count_effective_senders(const RunResult& r) {
+  std::set<int> parents;
+  for (const auto& n : r.nodes) {
+    if (n.parent >= 0) parents.insert(n.parent);
+  }
+  return parents.size();
+}
+
+}  // namespace
+
+SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
+                      std::uint64_t first_seed, bool keep_raw) {
+  SweepResult sweep;
+  sweep.runs = runs;
+  for (std::size_t i = 0; i < runs; ++i) {
+    cfg.seed = first_seed + i;
+    RunResult r = run_experiment(cfg);
+    if (r.all_completed) {
+      ++sweep.fully_completed_runs;
+      sweep.completion_s.add(sim::to_seconds(r.completion_time));
+    }
+    sweep.avg_art_s.add(r.avg_active_radio_s());
+    sweep.avg_art_post_adv_s.add(r.avg_active_radio_after_adv_s());
+    sweep.avg_msgs.add(r.avg_messages_sent());
+    sweep.collisions.add(static_cast<double>(r.collisions));
+    sweep.bulk_overlaps.add(static_cast<double>(r.bulk_overlaps));
+    sweep.energy_per_node_nah.add(r.total_energy_nah() /
+                                  static_cast<double>(r.nodes.size()));
+    sweep.effective_senders.add(static_cast<double>(count_effective_senders(r)));
+    if (keep_raw) sweep.raw.push_back(std::move(r));
+  }
+  return sweep;
+}
+
+std::string format_stat(const util::RunningStats& s, int precision) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%.*f +/- %.*f [%.*f, %.*f]", precision,
+                s.mean(), precision, s.stddev(), precision, s.min(), precision,
+                s.max());
+  return buf;
+}
+
+}  // namespace mnp::harness

@@ -1,0 +1,40 @@
+// Multi-seed sweeps: every figure in the paper is a single run of a
+// stochastic system; re-running across seeds gives the mean and spread
+// (the authors note they "repeated our experiments several times" and saw
+// similar results — this makes that check a first-class operation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "util/histogram.hpp"
+
+namespace mnp::harness {
+
+struct SweepResult {
+  std::size_t runs = 0;
+  std::size_t fully_completed_runs = 0;
+
+  util::RunningStats completion_s;
+  util::RunningStats avg_art_s;
+  util::RunningStats avg_art_post_adv_s;
+  util::RunningStats avg_msgs;
+  util::RunningStats collisions;
+  util::RunningStats bulk_overlaps;
+  util::RunningStats energy_per_node_nah;
+  util::RunningStats effective_senders;
+
+  /// Per-run raw results, in seed order, for custom statistics.
+  std::vector<RunResult> raw;
+};
+
+/// Runs `cfg` once per seed in [first_seed, first_seed + runs) and
+/// aggregates. `keep_raw` retains each RunResult (memory!).
+SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
+                      std::uint64_t first_seed = 1, bool keep_raw = false);
+
+/// "mean +/- stddev [min, max]" rendering for bench tables.
+std::string format_stat(const util::RunningStats& s, int precision = 1);
+
+}  // namespace mnp::harness

@@ -1,0 +1,4 @@
+#include "mnp/mnp_config.hpp"
+
+// Configuration is a plain aggregate; this TU anchors the library target.
+namespace mnp::core {}

@@ -1,0 +1,72 @@
+#include "mnp/program_image.hpp"
+
+#include <algorithm>
+
+namespace mnp::core {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+}  // namespace
+
+ProgramImage::ProgramImage(std::uint16_t program_id, std::size_t total_bytes,
+                           std::uint16_t packets_per_segment,
+                           std::size_t payload_bytes)
+    : id_(program_id),
+      packets_per_segment_(packets_per_segment),
+      payload_bytes_(payload_bytes ? payload_bytes : 1) {
+  if (packets_per_segment_ == 0) packets_per_segment_ = 1;
+  data_.resize(total_bytes);
+  for (std::size_t i = 0; i < total_bytes; ++i) {
+    data_[i] = static_cast<std::uint8_t>(
+        splitmix64((static_cast<std::uint64_t>(program_id) << 32) | i));
+  }
+  const std::size_t seg_bytes = packets_per_segment_ * payload_bytes_;
+  num_segments_ = static_cast<std::uint16_t>((total_bytes + seg_bytes - 1) / seg_bytes);
+  if (num_segments_ == 0) num_segments_ = 1;
+}
+
+ProgramImage::ProgramImage(std::uint16_t program_id,
+                           std::vector<std::uint8_t> content,
+                           std::uint16_t packets_per_segment,
+                           std::size_t payload_bytes)
+    : id_(program_id),
+      packets_per_segment_(packets_per_segment ? packets_per_segment : 1),
+      payload_bytes_(payload_bytes ? payload_bytes : 1),
+      data_(std::move(content)) {
+  const std::size_t seg_bytes = packets_per_segment_ * payload_bytes_;
+  num_segments_ =
+      static_cast<std::uint16_t>((data_.size() + seg_bytes - 1) / seg_bytes);
+  if (num_segments_ == 0) num_segments_ = 1;
+}
+
+std::uint16_t ProgramImage::packets_in_segment(std::uint16_t seg) const {
+  if (seg == 0 || seg > num_segments_) return 0;
+  if (seg < num_segments_) return packets_per_segment_;
+  const std::size_t seg_bytes = packets_per_segment_ * payload_bytes_;
+  const std::size_t last_bytes = data_.size() - seg_bytes * (num_segments_ - 1);
+  return static_cast<std::uint16_t>((last_bytes + payload_bytes_ - 1) / payload_bytes_);
+}
+
+std::size_t ProgramImage::packet_offset(std::uint16_t seg, std::uint16_t pkt) const {
+  return (static_cast<std::size_t>(seg - 1) * packets_per_segment_ + pkt) *
+         payload_bytes_;
+}
+
+std::vector<std::uint8_t> ProgramImage::packet_payload(std::uint16_t seg,
+                                                       std::uint16_t pkt) const {
+  const std::size_t offset = packet_offset(seg, pkt);
+  if (offset >= data_.size()) return {};
+  const std::size_t len = std::min(payload_bytes_, data_.size() - offset);
+  return {data_.begin() + static_cast<long>(offset),
+          data_.begin() + static_cast<long>(offset + len)};
+}
+
+}  // namespace mnp::core

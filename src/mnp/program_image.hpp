@@ -1,0 +1,71 @@
+// Program image: the code being disseminated.
+//
+// MNP divides a program into segments of a fixed number of packets
+// (at most 128, so a segment's missing-packet bitmap fits in one radio
+// packet) and packets of a fixed payload size. Segment IDs are 1-based
+// and strictly increasing; nodes must receive segments sequentially.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace mnp::core {
+
+class ProgramImage {
+ public:
+  static constexpr std::uint16_t kMaxPacketsPerSegment = 128;
+
+  /// Builds an image of `total_bytes` of deterministic pseudo-random
+  /// content derived from `program_id` — receivers can be byte-verified
+  /// against an independently reconstructed oracle.
+  ///
+  /// `packets_per_segment` may exceed kMaxPacketsPerSegment only for the
+  /// basic (non-pipelined) protocol, which tracks loss in EEPROM and ships
+  /// missing information in 128-bit windows (paper section 3.3).
+  ProgramImage(std::uint16_t program_id, std::size_t total_bytes,
+               std::uint16_t packets_per_segment = kMaxPacketsPerSegment,
+               std::size_t payload_bytes = 22);
+
+  /// Wraps caller-provided content (e.g. a serialized version delta from
+  /// `mnp::diff`) for dissemination.
+  ProgramImage(std::uint16_t program_id, std::vector<std::uint8_t> content,
+               std::uint16_t packets_per_segment = kMaxPacketsPerSegment,
+               std::size_t payload_bytes = 22);
+
+  std::uint16_t id() const { return id_; }
+  std::size_t total_bytes() const { return data_.size(); }
+  std::size_t payload_bytes() const { return payload_bytes_; }
+  std::uint16_t packets_per_segment() const { return packets_per_segment_; }
+
+  /// Number of segments (1-based ids run 1..num_segments()).
+  std::uint16_t num_segments() const { return num_segments_; }
+
+  /// Packets in segment `seg` (the last segment may be short).
+  std::uint16_t packets_in_segment(std::uint16_t seg) const;
+
+  /// Byte offset of (seg, pkt) within the image / within EEPROM.
+  std::size_t packet_offset(std::uint16_t seg, std::uint16_t pkt) const;
+
+  /// Payload carried by packet `pkt` of segment `seg` (the final packet
+  /// may be short).
+  std::vector<std::uint8_t> packet_payload(std::uint16_t seg, std::uint16_t pkt) const;
+
+  const std::vector<std::uint8_t>& bytes() const { return data_; }
+
+  /// True if `candidate` equals this image (the paper's "accuracy"
+  /// requirement: the received image must be exact).
+  bool matches(const std::vector<std::uint8_t>& candidate) const {
+    return candidate == data_;
+  }
+
+ private:
+  std::uint16_t id_;
+  std::uint16_t packets_per_segment_;
+  std::size_t payload_bytes_;
+  std::uint16_t num_segments_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace mnp::core

@@ -1,0 +1,137 @@
+#include "net/channel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/radio.hpp"
+
+namespace mnp::net {
+
+Channel::Channel(sim::Simulator& sim, const Topology& topo,
+                 const LinkModel& links, Params params)
+    : sim_(sim),
+      topo_(topo),
+      links_(links),
+      params_(params),
+      rng_(sim.fork_rng(0xC4A27EFULL)) {
+  radios_.resize(topo_.size(), nullptr);
+}
+
+Channel::Channel(sim::Simulator& sim, const Topology& topo,
+                 const LinkModel& links)
+    : Channel(sim, topo, links, Params{}) {}
+
+void Channel::register_radio(Radio& radio) {
+  if (radio.id() >= radios_.size()) radios_.resize(radio.id() + 1, nullptr);
+  radios_[radio.id()] = &radio;
+}
+
+sim::Time Channel::airtime(const Packet& pkt) const {
+  const double bits = static_cast<double>(pkt.wire_bytes()) * 8.0;
+  return static_cast<sim::Time>(bits / params_.bitrate_bps * 1e6);
+}
+
+bool Channel::carrier_busy(NodeId listener) const {
+  for (const auto& tx : active_) {
+    if (tx->src == listener) return true;  // own transmission in flight
+    if (links_.interferes(tx->src, listener, tx->pkt.power_scale)) return true;
+  }
+  return false;
+}
+
+void Channel::corrupt(Active& tx, std::size_t candidate_index) {
+  tx.corrupted[candidate_index] = true;
+}
+
+void Channel::begin_transmission(NodeId src, Packet pkt) {
+  auto tx = std::make_shared<Active>();
+  tx->src = src;
+  tx->start = sim_.now();
+  tx->end = sim_.now() + airtime(pkt);
+  tx->bulk = is_bulk_data(pkt.type());
+  tx->pkt = std::move(pkt);
+  ++transmissions_;
+  if (observer_) observer_->on_transmit(src, tx->pkt, sim_.now());
+
+  // Candidate receivers: every node currently listening whose radio hears
+  // this source at all (interference reach, not just decode reach).
+  for (NodeId n = 0; n < radios_.size(); ++n) {
+    Radio* r = radios_[n];
+    if (!r || n == src || !r->is_listening()) continue;
+    if (!links_.interferes(src, n, tx->pkt.power_scale)) continue;
+    tx->candidates.push_back(n);
+    tx->corrupted.push_back(false);
+  }
+
+  // Cross-corruption with every transmission already in flight: a listener
+  // reached by both sources decodes neither packet.
+  for (const auto& other : active_) {
+    for (std::size_t i = 0; i < tx->candidates.size(); ++i) {
+      const NodeId r = tx->candidates[i];
+      if (!tx->corrupted[i] &&
+          links_.interferes(other->src, r, other->pkt.power_scale)) {
+        corrupt(*tx, i);
+        ++collisions_;
+        if (observer_) observer_->on_collision(r, sim_.now());
+      }
+    }
+    for (std::size_t i = 0; i < other->candidates.size(); ++i) {
+      const NodeId r = other->candidates[i];
+      if (!other->corrupted[i] &&
+          links_.interferes(src, r, tx->pkt.power_scale)) {
+        corrupt(*other, i);
+        ++collisions_;
+        if (observer_) observer_->on_collision(r, sim_.now());
+      }
+    }
+    // Concurrent bulk-sender monitor (paper: "at most one sender active in
+    // any neighborhood"): two overlapping code transmissions whose sources
+    // interfere with each other or share a reachable listener.
+    if (tx->bulk && other->bulk) {
+      const bool mutual =
+          links_.interferes(src, other->src, tx->pkt.power_scale) ||
+          links_.interferes(other->src, src, other->pkt.power_scale);
+      bool shared_victim = false;
+      if (!mutual) {
+        for (const NodeId r : tx->candidates) {
+          if (links_.interferes(other->src, r, other->pkt.power_scale)) {
+            shared_victim = true;
+            break;
+          }
+        }
+      }
+      if (mutual || shared_victim) ++bulk_overlaps_;
+    }
+  }
+
+  active_.push_back(tx);
+  sim_.scheduler().schedule_at(tx->end, [this, tx] { end_transmission(tx); });
+}
+
+void Channel::radio_stopped_listening(NodeId id) {
+  for (const auto& tx : active_) {
+    for (std::size_t i = 0; i < tx->candidates.size(); ++i) {
+      if (tx->candidates[i] == id) {
+        // Mid-packet loss of the listener: the packet is gone for it.
+        corrupt(*tx, i);
+      }
+    }
+  }
+}
+
+void Channel::end_transmission(const std::shared_ptr<Active>& tx) {
+  active_.erase(std::remove(active_.begin(), active_.end(), tx), active_.end());
+  for (std::size_t i = 0; i < tx->candidates.size(); ++i) {
+    if (tx->corrupted[i]) continue;
+    const NodeId r = tx->candidates[i];
+    Radio* radio = radios_[r];
+    if (!radio || !radio->is_listening()) continue;
+    const double p = links_.packet_success(tx->src, r, tx->pkt.power_scale);
+    if (!rng_.bernoulli(p)) continue;
+    ++deliveries_;
+    if (observer_) observer_->on_deliver(tx->src, r, tx->pkt, sim_.now());
+    radio->deliver(tx->pkt);
+  }
+}
+
+}  // namespace mnp::net

@@ -1,0 +1,111 @@
+// Shared wireless channel.
+//
+// Models what TOSSIM models, plus interference:
+//  * per-directed-edge probabilistic decoding (LinkModel),
+//  * receiver-side collisions — if two transmissions whose sources both
+//    reach a listener overlap in time, the listener decodes neither; this
+//    is exactly the mechanism behind the hidden terminal problem the
+//    paper's sender selection is designed to avoid,
+//  * carrier sense for the CSMA MAC (busy = any in-flight transmission
+//    whose source interferes at the listener),
+//  * a concurrent-bulk-sender monitor: counts pairs of overlapping code
+//    transmissions that share a potential victim — the paper's "at most
+//    one sender per neighborhood" claim, made measurable.
+//
+// A receiver must be listening when a packet *starts* (preamble) and keep
+// listening until it ends; going off / transmitting mid-packet drops it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/link_model.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace mnp::net {
+
+class Radio;
+
+/// Observer for global accounting; implemented by the stats collector.
+class ChannelObserver {
+ public:
+  virtual ~ChannelObserver() = default;
+  virtual void on_transmit(NodeId src, const Packet& pkt, sim::Time now) = 0;
+  virtual void on_deliver(NodeId src, NodeId dst, const Packet& pkt, sim::Time now) = 0;
+  virtual void on_collision(NodeId victim, sim::Time now) = 0;
+};
+
+class Channel {
+ public:
+  struct Params {
+    double bitrate_bps = 19200.0;  // Mica-2 CC1000 radio
+  };
+
+  Channel(sim::Simulator& sim, const Topology& topo, const LinkModel& links,
+          Params params);
+  /// Default-parameter convenience overload.
+  Channel(sim::Simulator& sim, const Topology& topo, const LinkModel& links);
+
+  /// Radios register once at network construction; `radio` must outlive
+  /// the channel's use.
+  void register_radio(Radio& radio);
+
+  void set_observer(ChannelObserver* observer) { observer_ = observer; }
+
+  /// Time on air for `pkt` at the configured bitrate.
+  sim::Time airtime(const Packet& pkt) const;
+
+  /// True if `listener` currently senses energy on the channel.
+  bool carrier_busy(NodeId listener) const;
+
+  /// Radio -> channel: `src` began transmitting `pkt`; the channel
+  /// schedules delivery/corruption and will keep the medium busy for
+  /// airtime(pkt).
+  void begin_transmission(NodeId src, Packet pkt);
+
+  /// Radio -> channel: this node is no longer listening (turned off or
+  /// started transmitting); it loses any packet currently in flight to it.
+  void radio_stopped_listening(NodeId id);
+
+  // --- statistics ----------------------------------------------------------
+  std::uint64_t transmissions() const { return transmissions_; }
+  std::uint64_t deliveries() const { return deliveries_; }
+  /// Receiver-side packet corruptions due to overlap.
+  std::uint64_t collisions() const { return collisions_; }
+  /// Overlapping bulk-data sender pairs that shared a potential victim.
+  std::uint64_t concurrent_bulk_overlaps() const { return bulk_overlaps_; }
+
+ private:
+  struct Active {
+    NodeId src;
+    Packet pkt;
+    sim::Time start;
+    sim::Time end;
+    bool bulk;
+    std::vector<NodeId> candidates;  // listening-at-start, interfered nodes
+    std::vector<bool> corrupted;     // parallel to candidates
+  };
+
+  void end_transmission(const std::shared_ptr<Active>& tx);
+  static void corrupt(Active& tx, std::size_t candidate_index);
+
+  sim::Simulator& sim_;
+  const Topology& topo_;
+  const LinkModel& links_;
+  Params params_;
+  sim::Rng rng_;
+  std::vector<Radio*> radios_;  // index = NodeId
+  std::vector<std::shared_ptr<Active>> active_;
+  ChannelObserver* observer_ = nullptr;
+
+  std::uint64_t transmissions_ = 0;
+  std::uint64_t deliveries_ = 0;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t bulk_overlaps_ = 0;
+};
+
+}  // namespace mnp::net

@@ -1,0 +1,363 @@
+#include "net/codec.hpp"
+
+#include <cstring>
+
+namespace mnp::net {
+
+namespace {
+
+// --- primitive writers/readers ---------------------------------------------
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) {
+    out_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+    out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xFFFF));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void bytes(const std::uint8_t* data, std::size_t n) {
+    out_.insert(out_.end(), data, data + n);
+  }
+  void bitmap(const util::Bitmap& b) {
+    const auto raw = b.to_bytes();
+    u8(static_cast<std::uint8_t>(b.size()));
+    bytes(raw.data(), util::Bitmap::kMaxBytes);
+  }
+  std::vector<std::uint8_t>& out() { return out_; }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<std::uint8_t>& in) : in_(in) {}
+
+  bool u8(std::uint8_t& v) {
+    if (pos_ + 1 > in_.size()) return false;
+    v = in_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    if (pos_ + 2 > in_.size()) return false;
+    v = static_cast<std::uint16_t>(in_[pos_] | (in_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    std::uint16_t lo = 0, hi = 0;
+    if (!u16(lo) || !u16(hi)) return false;
+    v = static_cast<std::uint32_t>(lo) | (static_cast<std::uint32_t>(hi) << 16);
+    return true;
+  }
+  bool take(std::size_t n, std::vector<std::uint8_t>& out) {
+    if (pos_ + n > in_.size()) return false;
+    out.assign(in_.begin() + static_cast<long>(pos_),
+               in_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return true;
+  }
+  bool bitmap(util::Bitmap& b) {
+    std::uint8_t size = 0;
+    if (!u8(size)) return false;
+    std::array<std::uint8_t, util::Bitmap::kMaxBytes> raw{};
+    if (pos_ + raw.size() > in_.size()) return false;
+    std::memcpy(raw.data(), in_.data() + pos_, raw.size());
+    pos_ += raw.size();
+    b = util::Bitmap::from_bytes(raw, size);
+    return true;
+  }
+  std::size_t remaining() const { return in_.size() - pos_; }
+
+ private:
+  const std::vector<std::uint8_t>& in_;
+  std::size_t pos_ = 0;
+};
+
+// --- payload encoders -------------------------------------------------------
+
+struct EncodeVisitor {
+  Writer& w;
+
+  void operator()(const AdvertisementMsg& m) const {
+    w.u16(m.program_id);
+    w.u32(m.program_bytes);
+    w.u16(m.program_segments);
+    w.u16(m.seg_id);
+    w.u8(m.req_ctr);
+  }
+  void operator()(const DownloadRequestMsg& m) const {
+    w.u16(m.dest);
+    w.u16(m.program_id);
+    w.u16(m.seg_id);
+    w.u8(m.req_ctr_echo);
+    w.u16(m.window_base);
+    w.u8(m.request_all ? 1 : 0);
+    w.bitmap(m.missing);
+  }
+  void operator()(const StartDownloadMsg& m) const {
+    w.u16(m.program_id);
+    w.u16(m.seg_id);
+    w.u16(m.packet_count);
+  }
+  void operator()(const DataMsg& m) const {
+    w.u16(m.program_id);
+    w.u16(m.seg_id);
+    w.u16(m.pkt_id);
+    w.u8(static_cast<std::uint8_t>(m.payload.size()));
+    w.bytes(m.payload.data(), m.payload.size());
+  }
+  void operator()(const EndDownloadMsg& m) const { w.u16(m.seg_id); }
+  void operator()(const QueryMsg& m) const { w.u16(m.seg_id); }
+  void operator()(const RepairRequestMsg& m) const {
+    w.u16(m.dest);
+    w.u16(m.seg_id);
+    w.u16(m.pkt_id);
+  }
+  void operator()(const DelugeSummaryMsg& m) const {
+    w.u16(m.version);
+    w.u16(m.total_pages);
+    w.u16(m.complete_pages);
+    w.u32(m.program_bytes);
+  }
+  void operator()(const DelugeRequestMsg& m) const {
+    w.u16(m.dest);
+    w.u16(m.page);
+    w.bitmap(m.missing);
+  }
+  void operator()(const DelugeDataMsg& m) const {
+    w.u16(m.version);
+    w.u16(m.page);
+    w.u8(m.pkt_id);
+    w.u8(static_cast<std::uint8_t>(m.payload.size()));
+    w.bytes(m.payload.data(), m.payload.size());
+  }
+  void operator()(const MoapPublishMsg& m) const {
+    w.u16(m.version);
+    w.u16(m.total_packets);
+    w.u32(m.program_bytes);
+  }
+  void operator()(const MoapSubscribeMsg& m) const { w.u16(m.dest); }
+  void operator()(const MoapDataMsg& m) const {
+    w.u16(m.version);
+    w.u16(m.pkt_id);
+    w.u8(static_cast<std::uint8_t>(m.payload.size()));
+    w.bytes(m.payload.data(), m.payload.size());
+  }
+  void operator()(const MoapNackMsg& m) const {
+    w.u16(m.dest);
+    w.u16(m.pkt_id);
+  }
+  void operator()(const XnpDataMsg& m) const {
+    w.u16(m.pkt_id);
+    w.u16(m.total_packets);
+    w.u8(static_cast<std::uint8_t>(m.payload.size()));
+    w.bytes(m.payload.data(), m.payload.size());
+  }
+  void operator()(const XnpQueryMsg& m) const { w.u16(m.total_packets); }
+  void operator()(const XnpFixRequestMsg& m) const { w.u16(m.pkt_id); }
+};
+
+// --- payload decoders -------------------------------------------------------
+
+bool decode_payload(PacketType type, Reader& r, Payload& out) {
+  switch (type) {
+    case PacketType::kAdvertisement: {
+      AdvertisementMsg m;
+      if (!r.u16(m.program_id) || !r.u32(m.program_bytes) ||
+          !r.u16(m.program_segments) || !r.u16(m.seg_id) || !r.u8(m.req_ctr)) {
+        return false;
+      }
+      out = m;
+      return true;
+    }
+    case PacketType::kDownloadRequest: {
+      DownloadRequestMsg m;
+      std::uint8_t all = 0;
+      if (!r.u16(m.dest) || !r.u16(m.program_id) || !r.u16(m.seg_id) ||
+          !r.u8(m.req_ctr_echo) || !r.u16(m.window_base) || !r.u8(all) ||
+          !r.bitmap(m.missing)) {
+        return false;
+      }
+      m.request_all = all != 0;
+      out = m;
+      return true;
+    }
+    case PacketType::kStartDownload: {
+      StartDownloadMsg m;
+      if (!r.u16(m.program_id) || !r.u16(m.seg_id) || !r.u16(m.packet_count)) {
+        return false;
+      }
+      out = m;
+      return true;
+    }
+    case PacketType::kData: {
+      DataMsg m;
+      std::uint8_t len = 0;
+      if (!r.u16(m.program_id) || !r.u16(m.seg_id) || !r.u16(m.pkt_id) ||
+          !r.u8(len) || !r.take(len, m.payload)) {
+        return false;
+      }
+      out = std::move(m);
+      return true;
+    }
+    case PacketType::kEndDownload: {
+      EndDownloadMsg m;
+      if (!r.u16(m.seg_id)) return false;
+      out = m;
+      return true;
+    }
+    case PacketType::kQuery: {
+      QueryMsg m;
+      if (!r.u16(m.seg_id)) return false;
+      out = m;
+      return true;
+    }
+    case PacketType::kRepairRequest: {
+      RepairRequestMsg m;
+      if (!r.u16(m.dest) || !r.u16(m.seg_id) || !r.u16(m.pkt_id)) return false;
+      out = m;
+      return true;
+    }
+    case PacketType::kDelugeSummary: {
+      DelugeSummaryMsg m;
+      if (!r.u16(m.version) || !r.u16(m.total_pages) ||
+          !r.u16(m.complete_pages) || !r.u32(m.program_bytes)) {
+        return false;
+      }
+      out = m;
+      return true;
+    }
+    case PacketType::kDelugeRequest: {
+      DelugeRequestMsg m;
+      if (!r.u16(m.dest) || !r.u16(m.page) || !r.bitmap(m.missing)) {
+        return false;
+      }
+      out = m;
+      return true;
+    }
+    case PacketType::kDelugeData: {
+      DelugeDataMsg m;
+      std::uint8_t len = 0;
+      if (!r.u16(m.version) || !r.u16(m.page) || !r.u8(m.pkt_id) ||
+          !r.u8(len) || !r.take(len, m.payload)) {
+        return false;
+      }
+      out = std::move(m);
+      return true;
+    }
+    case PacketType::kMoapPublish: {
+      MoapPublishMsg m;
+      if (!r.u16(m.version) || !r.u16(m.total_packets) ||
+          !r.u32(m.program_bytes)) {
+        return false;
+      }
+      out = m;
+      return true;
+    }
+    case PacketType::kMoapSubscribe: {
+      MoapSubscribeMsg m;
+      if (!r.u16(m.dest)) return false;
+      out = m;
+      return true;
+    }
+    case PacketType::kMoapData: {
+      MoapDataMsg m;
+      std::uint8_t len = 0;
+      if (!r.u16(m.version) || !r.u16(m.pkt_id) || !r.u8(len) ||
+          !r.take(len, m.payload)) {
+        return false;
+      }
+      out = std::move(m);
+      return true;
+    }
+    case PacketType::kMoapNack: {
+      MoapNackMsg m;
+      if (!r.u16(m.dest) || !r.u16(m.pkt_id)) return false;
+      out = m;
+      return true;
+    }
+    case PacketType::kXnpData: {
+      XnpDataMsg m;
+      std::uint8_t len = 0;
+      if (!r.u16(m.pkt_id) || !r.u16(m.total_packets) || !r.u8(len) ||
+          !r.take(len, m.payload)) {
+        return false;
+      }
+      out = std::move(m);
+      return true;
+    }
+    case PacketType::kXnpQuery: {
+      XnpQueryMsg m;
+      if (!r.u16(m.total_packets)) return false;
+      out = m;
+      return true;
+    }
+    case PacketType::kXnpFixRequest: {
+      XnpFixRequestMsg m;
+      if (!r.u16(m.pkt_id)) return false;
+      out = m;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint16_t crc16(const std::uint8_t* data, std::size_t length) {
+  // CRC-16-CCITT (0x1021), init 0xFFFF.
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < length; ++i) {
+    crc = static_cast<std::uint16_t>(crc ^ (static_cast<std::uint16_t>(data[i]) << 8));
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 0x8000u)
+                ? static_cast<std::uint16_t>((crc << 1) ^ 0x1021u)
+                : static_cast<std::uint16_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+std::vector<std::uint8_t> encode(const Packet& pkt) {
+  Writer w;
+  w.u16(pkt.logical_dest());
+  w.u16(pkt.src);
+  w.u8(static_cast<std::uint8_t>(pkt.type()));
+  std::visit(EncodeVisitor{w}, pkt.payload);
+  const std::uint16_t crc = crc16(w.out().data(), w.out().size());
+  w.u16(crc);
+  return std::move(w.out());
+}
+
+std::optional<Packet> decode(const std::vector<std::uint8_t>& frame) {
+  if (frame.size() < 2 + 2 + 1 + 2) return std::nullopt;
+  const std::uint16_t expected =
+      static_cast<std::uint16_t>(frame[frame.size() - 2] |
+                                 (frame[frame.size() - 1] << 8));
+  if (crc16(frame.data(), frame.size() - 2) != expected) return std::nullopt;
+
+  std::vector<std::uint8_t> body(frame.begin(), frame.end() - 2);
+  Reader r(body);
+  std::uint16_t dest = 0, src = 0;
+  std::uint8_t type_raw = 0;
+  if (!r.u16(dest) || !r.u16(src) || !r.u8(type_raw)) return std::nullopt;
+  if (type_raw > static_cast<std::uint8_t>(PacketType::kXnpFixRequest)) {
+    return std::nullopt;
+  }
+  Packet pkt;
+  pkt.src = src;
+  if (!decode_payload(static_cast<PacketType>(type_raw), r, pkt.payload)) {
+    return std::nullopt;
+  }
+  if (r.remaining() != 0) return std::nullopt;  // trailing garbage
+  // `dest` is redundant with the payload's own dest field (when present);
+  // nothing further to restore.
+  return pkt;
+}
+
+}  // namespace mnp::net

@@ -1,0 +1,39 @@
+// Wire codec: byte-level encoding of every packet type.
+//
+// The simulator passes Packet values around directly (no marshalling on
+// the hot path), but the on-air format is real: encode() produces the MAC
+// frame a Mica-2 would transmit — header, typed payload, CRC — and
+// decode() parses and validates it. wire_bytes() is defined as
+// kFramingBytes-worth of physical overhead plus the payload encoding
+// produced here, and the codec tests pin those sizes to the actual
+// encoders so the airtime model can never drift from the format.
+//
+// Frame layout (little-endian):
+//   [dest u16][src u16][type u8][payload bytes][crc16]
+// The 8-byte preamble + 2-byte sync of kFramingBytes exist on air but
+// carry no information, so they are not part of the byte vector.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace mnp::net {
+
+/// Information-carrying frame bytes (excludes preamble/sync).
+inline constexpr std::size_t kPhysicalOnlyBytes = 8 + 2;  // preamble + sync
+
+/// Serializes `pkt` into a transmittable frame.
+std::vector<std::uint8_t> encode(const Packet& pkt);
+
+/// Parses a frame; returns std::nullopt on truncation, unknown type, or
+/// CRC mismatch. power_scale is link metadata, not wire content, so the
+/// decoded packet always carries the default 1.0.
+std::optional<Packet> decode(const std::vector<std::uint8_t>& frame);
+
+/// CRC-16-CCITT used by the frame trailer.
+std::uint16_t crc16(const std::uint8_t* data, std::size_t length);
+
+}  // namespace mnp::net

@@ -1,0 +1,98 @@
+#include "net/csma_mac.hpp"
+
+#include <utility>
+
+#include "net/channel.hpp"
+
+namespace mnp::net {
+
+CsmaMac::CsmaMac(Radio& radio, sim::Scheduler& scheduler, sim::Rng rng,
+                 Params params)
+    : radio_(radio), scheduler_(scheduler), rng_(std::move(rng)), params_(params) {
+  radio_.set_send_done_handler([this] { transmission_finished(); });
+}
+
+CsmaMac::CsmaMac(Radio& radio, sim::Scheduler& scheduler, sim::Rng rng)
+    : CsmaMac(radio, scheduler, std::move(rng), Params{}) {}
+
+bool CsmaMac::send(Packet pkt) {
+  if (!radio_.is_on()) {
+    ++packets_dropped_;
+    return false;
+  }
+  if (queue_.size() >= params_.queue_capacity) {
+    ++packets_dropped_;
+    return false;
+  }
+  queue_.push_back(std::move(pkt));
+  if (!in_flight_ && !backoff_.pending()) arm_backoff(/*congestion=*/false);
+  return true;
+}
+
+void CsmaMac::flush() {
+  queue_.clear();
+  backoff_.cancel();
+  retries_ = 0;
+}
+
+void CsmaMac::arm_backoff(bool congestion) {
+  const sim::Time lo = congestion ? params_.congestion_backoff_min
+                                  : params_.initial_backoff_min;
+  const sim::Time hi = congestion ? params_.congestion_backoff_max
+                                  : params_.initial_backoff_max;
+  const sim::Time delay = rng_.uniform_int(lo, hi);
+  backoff_ = scheduler_.schedule_after(delay, [this] { backoff_expired(); });
+}
+
+void CsmaMac::backoff_expired() {
+  if (queue_.empty()) return;
+  if (!radio_.is_listening()) {
+    // Radio went off (or is mid-transmission) while we were backing off;
+    // drop everything — the protocol deliberately silenced this node.
+    flush();
+    return;
+  }
+  // Carrier sense through the radio's channel: ask via transmission
+  // attempt only when clear.
+  if (radio_.is_listening() && carrier_clear()) {
+    retries_ = 0;
+    Packet pkt = std::move(queue_.front());
+    queue_.pop_front();
+    in_flight_ = true;
+    last_sent_ = pkt;
+    if (!radio_.start_transmission(std::move(pkt))) {
+      in_flight_ = false;
+      ++packets_dropped_;
+      if (!queue_.empty()) arm_backoff(false);
+    }
+    return;
+  }
+  ++congestion_backoffs_;
+  ++retries_;
+  if (params_.max_congestion_retries != 0 &&
+      retries_ > params_.max_congestion_retries) {
+    ++packets_dropped_;
+    queue_.pop_front();
+    retries_ = 0;
+    if (queue_.empty()) return;
+  }
+  arm_backoff(/*congestion=*/true);
+}
+
+bool CsmaMac::carrier_clear() const { return !radio_.senses_carrier(); }
+
+void CsmaMac::transmission_finished() {
+  if (!in_flight_) return;  // send-done for a transmission we didn't start
+  in_flight_ = false;
+  ++packets_sent_;
+  if (send_done_) send_done_(last_sent_);
+  if (!queue_.empty()) {
+    scheduler_.schedule_after(params_.inter_packet_gap, [this] {
+      if (!in_flight_ && !queue_.empty() && !backoff_.pending()) {
+        arm_backoff(false);
+      }
+    });
+  }
+}
+
+}  // namespace mnp::net

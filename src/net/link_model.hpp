@@ -1,0 +1,112 @@
+// Link quality models.
+//
+// TOSSIM models the network as a directed graph whose edges carry
+// independent bit-error probabilities sampled from empirical distance/
+// loss data — crucially, links are *asymmetric*. EmpiricalLinkModel
+// mirrors that: a deterministic distance-based success curve plus a
+// per-directed-edge noise term sampled once at construction. DiskLinkModel
+// is the idealized unit-disk used by analytic tests.
+//
+// `power_scale` scales the effective communication range at transmit time
+// (radio power level knob; also used by the battery-aware extension).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "sim/rng.hpp"
+
+namespace mnp::net {
+
+class LinkModel {
+ public:
+  virtual ~LinkModel() = default;
+
+  /// Probability that a packet from `src` (at `power_scale`) decodes at
+  /// `dst`, absent collisions. In [0, 1].
+  virtual double packet_success(NodeId src, NodeId dst, double power_scale) const = 0;
+
+  /// True if a transmission from `src` raises energy above the carrier-
+  /// sense / interference threshold at `dst`. Interference reaches farther
+  /// than reliable decoding — that gap is what creates hidden terminals.
+  virtual bool interferes(NodeId src, NodeId dst, double power_scale) const = 0;
+};
+
+/// Ideal unit-disk: perfect delivery within `range_ft`, nothing beyond.
+class DiskLinkModel final : public LinkModel {
+ public:
+  DiskLinkModel(const Topology& topo, double range_ft,
+                double interference_factor = 1.0);
+
+  double packet_success(NodeId src, NodeId dst, double power_scale) const override;
+  bool interferes(NodeId src, NodeId dst, double power_scale) const override;
+
+ private:
+  const Topology& topo_;
+  double range_;
+  double interference_factor_;
+};
+
+/// TOSSIM-like empirical model: deterministic distance curve with a "gray
+/// area" between 0.5R and 1.1R, perturbed by per-directed-edge noise.
+class EmpiricalLinkModel final : public LinkModel {
+ public:
+  struct Params {
+    double range_ft = 25.0;           // nominal communication range
+    double interference_factor = 1.6; // interference reach / decode reach
+    double edge_noise_stddev = 0.08;  // per-edge success-probability jitter
+    double gray_start = 0.5;          // d/R where quality starts degrading
+    double gray_end = 1.1;            // d/R where success reaches ~0
+  };
+
+  EmpiricalLinkModel(const Topology& topo, Params params, sim::Rng rng);
+
+  double packet_success(NodeId src, NodeId dst, double power_scale) const override;
+  bool interferes(NodeId src, NodeId dst, double power_scale) const override;
+
+  /// The deterministic part of the curve, exposed for tests/plots.
+  static double base_success(double distance_over_range, const Params& params);
+
+ private:
+  double edge_noise(NodeId src, NodeId dst) const;
+
+  const Topology& topo_;
+  Params params_;
+  std::vector<double> noise_;  // size() x size(), row = src
+  std::size_t n_;
+};
+
+/// Log-normal shadowing: the standard statistical radio model. Received
+/// power follows path loss with exponent `path_loss_exponent` plus a
+/// per-directed-edge Gaussian shadowing term (dB); a packet decodes when
+/// the resulting SNR margin clears zero, mapped to a success probability
+/// through a logistic transition. Compared with EmpiricalLinkModel this
+/// produces longer-tailed link quality: occasional good long links and
+/// bad short ones, as observed in real deployments.
+class ShadowingLinkModel final : public LinkModel {
+ public:
+  struct Params {
+    double range_ft = 25.0;            // distance of 0 dB margin at nominal power
+    double path_loss_exponent = 3.0;   // outdoor ground deployments: 2.7-3.5
+    double shadowing_stddev_db = 4.0;  // per-edge sigma
+    double transition_width_db = 3.0;  // logistic softness around the margin
+    double interference_margin_db = 8.0;  // extra reach of interference
+  };
+
+  ShadowingLinkModel(const Topology& topo, Params params, sim::Rng rng);
+
+  double packet_success(NodeId src, NodeId dst, double power_scale) const override;
+  bool interferes(NodeId src, NodeId dst, double power_scale) const override;
+
+  /// Deterministic part: margin in dB at distance d for full power.
+  double margin_db(double distance_ft, double power_scale) const;
+
+ private:
+  const Topology& topo_;
+  Params params_;
+  std::vector<double> shadow_db_;  // per directed edge
+  std::size_t n_;
+};
+
+}  // namespace mnp::net

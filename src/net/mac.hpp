@@ -1,0 +1,38 @@
+// MAC protocol interface.
+//
+// MNP is MAC-agnostic: the paper runs it over TinyOS's CSMA but its
+// conclusion proposes combining it with TDMA (citing the authors' own
+// SS-TDMA) so nodes can sleep between their slots. Both MACs implement
+// this interface; the mote runtime owns one of them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hpp"
+
+namespace mnp::net {
+
+class Mac {
+ public:
+  virtual ~Mac() = default;
+
+  /// Enqueues `pkt`. Returns false (dropped) when the queue is full or the
+  /// radio is off.
+  virtual bool send(Packet pkt) = 0;
+
+  /// Drops queued packets and pending backoffs/slots. Called when the
+  /// protocol silences this node (e.g. going to sleep).
+  virtual void flush() = 0;
+
+  virtual std::size_t queue_depth() const = 0;
+  /// True when nothing is queued and nothing is in flight.
+  virtual bool idle() const = 0;
+  virtual std::uint64_t packets_sent() const = 0;
+  virtual std::uint64_t packets_dropped() const = 0;
+
+  /// Invoked after each completed transmission with the packet sent.
+  virtual void set_send_done(std::function<void(const Packet&)> cb) = 0;
+};
+
+}  // namespace mnp::net

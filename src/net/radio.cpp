@@ -1,0 +1,65 @@
+#include "net/radio.hpp"
+
+#include <utility>
+
+#include "net/channel.hpp"
+
+namespace mnp::net {
+
+Radio::Radio(NodeId id, sim::Scheduler& scheduler, Channel& channel,
+             energy::EnergyMeter& meter)
+    : id_(id), scheduler_(scheduler), channel_(channel), meter_(meter) {}
+
+void Radio::turn_on() {
+  if (state_ != State::kOff) {
+    off_pending_ = false;
+    return;
+  }
+  state_ = State::kListening;
+  meter_.radio_became_active(scheduler_.now());
+}
+
+void Radio::turn_off() {
+  switch (state_) {
+    case State::kOff:
+      return;
+    case State::kTransmitting:
+      off_pending_ = true;  // applied at end of the in-flight packet
+      return;
+    case State::kListening:
+      channel_.radio_stopped_listening(id_);
+      state_ = State::kOff;
+      meter_.radio_became_inactive(scheduler_.now());
+      return;
+  }
+}
+
+bool Radio::start_transmission(Packet pkt) {
+  if (state_ != State::kListening) return false;
+  channel_.radio_stopped_listening(id_);  // half-duplex: stop receiving
+  state_ = State::kTransmitting;
+  meter_.count_tx_packet();
+  const sim::Time airtime = channel_.airtime(pkt);
+  channel_.begin_transmission(id_, std::move(pkt));
+  scheduler_.schedule_after(airtime, [this] { finish_transmission(); });
+  return true;
+}
+
+void Radio::finish_transmission() {
+  state_ = State::kListening;
+  if (off_pending_) {
+    off_pending_ = false;
+    turn_off();
+  }
+  if (on_send_done_) on_send_done_();
+}
+
+bool Radio::senses_carrier() const { return channel_.carrier_busy(id_); }
+
+void Radio::deliver(const Packet& pkt) {
+  if (state_ != State::kListening) return;
+  meter_.count_rx_packet();
+  if (on_receive_) on_receive_(pkt);
+}
+
+}  // namespace mnp::net

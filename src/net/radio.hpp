@@ -1,0 +1,71 @@
+// Half-duplex packet radio of a single mote (CC1000-class, 19.2 kbps).
+//
+// States: Off, Listening, Transmitting. Turning the radio off is MNP's
+// central energy lever — the EnergyMeter integrates the time spent in any
+// non-Off state as "active radio time", the paper's headline metric.
+// Reception is delegated to the Channel, which models per-edge loss,
+// collisions and carrier sense; the radio only owns its state machine.
+#pragma once
+
+#include <functional>
+
+#include "energy/energy_meter.hpp"
+#include "net/packet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace mnp::net {
+
+class Channel;
+
+class Radio {
+ public:
+  enum class State { kOff, kListening, kTransmitting };
+
+  using ReceiveHandler = std::function<void(const Packet&)>;
+  using SendDoneHandler = std::function<void()>;
+
+  Radio(NodeId id, sim::Scheduler& scheduler, Channel& channel,
+        energy::EnergyMeter& meter);
+
+  NodeId id() const { return id_; }
+  State state() const { return state_; }
+  bool is_on() const { return state_ != State::kOff; }
+  bool is_listening() const { return state_ == State::kListening; }
+
+  /// Invoked with every successfully decoded packet.
+  void set_receive_handler(ReceiveHandler handler) { on_receive_ = std::move(handler); }
+  /// Invoked when a transmission completes (the radio is Listening again).
+  void set_send_done_handler(SendDoneHandler handler) { on_send_done_ = std::move(handler); }
+
+  void turn_on();
+  /// Turns the radio off. If a transmission is in flight the shutdown is
+  /// deferred until the transmission completes.
+  void turn_off();
+
+  /// Starts transmitting `pkt` immediately (no carrier sense here — that
+  /// is the MAC's job). Returns false if the radio is off or already
+  /// transmitting. The packet occupies the channel for its airtime.
+  bool start_transmission(Packet pkt);
+
+  /// Channel -> radio: a packet decoded successfully at this node.
+  void deliver(const Packet& pkt);
+
+  /// Carrier sense: true if the channel has energy audible at this node.
+  bool senses_carrier() const;
+
+  energy::EnergyMeter& meter() { return meter_; }
+
+ private:
+  void finish_transmission();
+
+  NodeId id_;
+  sim::Scheduler& scheduler_;
+  Channel& channel_;
+  energy::EnergyMeter& meter_;
+  State state_ = State::kOff;
+  bool off_pending_ = false;
+  ReceiveHandler on_receive_;
+  SendDoneHandler on_send_done_;
+};
+
+}  // namespace mnp::net

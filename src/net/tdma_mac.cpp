@@ -1,0 +1,91 @@
+#include "net/tdma_mac.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace mnp::net {
+
+std::uint32_t TdmaMac::tile_for_grid(double spacing_ft, double range_ft,
+                                     double interference_factor) {
+  if (spacing_ft <= 0.0) return 2;
+  // A listener hears a transmitter within range*interference_factor, so a
+  // listener midway between two same-slot transmitters is deaf to neither
+  // unless their separation strictly exceeds twice that reach.
+  const double reach = 2.0 * range_ft * interference_factor;
+  const auto m = static_cast<std::uint32_t>(std::floor(reach / spacing_ft)) + 1;
+  return m < 2 ? 2 : m;
+}
+
+std::uint32_t TdmaMac::slot_for(std::size_t row, std::size_t col,
+                                std::uint32_t m) {
+  return static_cast<std::uint32_t>((row % m) * m + (col % m));
+}
+
+TdmaMac::TdmaMac(Radio& radio, sim::Scheduler& scheduler, Params params)
+    : radio_(radio), scheduler_(scheduler), params_(params) {
+  if (params_.frame_slots == 0) params_.frame_slots = 1;
+  params_.my_slot %= params_.frame_slots;
+  radio_.set_send_done_handler([this] { transmission_finished(); });
+}
+
+bool TdmaMac::send(Packet pkt) {
+  if (!radio_.is_on()) {
+    ++packets_dropped_;
+    return false;
+  }
+  if (queue_.size() >= params_.queue_capacity) {
+    ++packets_dropped_;
+    return false;
+  }
+  queue_.push_back(std::move(pkt));
+  if (!slot_timer_.pending()) arm_next_slot();
+  return true;
+}
+
+void TdmaMac::flush() {
+  queue_.clear();
+  slot_timer_.cancel();
+}
+
+void TdmaMac::arm_next_slot() {
+  // Delay until the start of our next owned slot (frame-aligned to the
+  // global clock; in SS-TDMA this alignment comes from the shared slotted
+  // timeline that self-stabilization establishes).
+  const sim::Time now = scheduler_.now();
+  const sim::Time frame = frame_duration();
+  const sim::Time slot_start =
+      static_cast<sim::Time>(params_.my_slot) * params_.slot_duration;
+  const sim::Time into_frame = now % frame;
+  sim::Time wait = slot_start - into_frame;
+  if (wait <= 0) wait += frame;
+  slot_timer_ = scheduler_.schedule_after(wait, [this] { slot_fired(); });
+}
+
+void TdmaMac::slot_fired() {
+  if (queue_.empty()) return;
+  if (!radio_.is_listening()) {
+    // The protocol turned the radio off after queueing (e.g. went to
+    // sleep); drop the silenced traffic like the CSMA MAC does.
+    flush();
+    return;
+  }
+  Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  last_sent_ = pkt;
+  in_flight_ = true;
+  if (!radio_.start_transmission(std::move(pkt))) {
+    in_flight_ = false;
+    ++packets_dropped_;
+  }
+  if (!queue_.empty()) arm_next_slot();
+}
+
+void TdmaMac::transmission_finished() {
+  if (!in_flight_) return;
+  in_flight_ = false;
+  ++packets_sent_;
+  if (send_done_) send_done_(last_sent_);
+  if (!queue_.empty() && !slot_timer_.pending()) arm_next_slot();
+}
+
+}  // namespace mnp::net

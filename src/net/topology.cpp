@@ -1,0 +1,20 @@
+#include "net/topology.hpp"
+
+namespace mnp::net {
+
+Topology Topology::grid(std::size_t rows, std::size_t cols, double spacing_ft) {
+  Topology t;
+  t.positions_.reserve(rows * cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      t.positions_.push_back(Position{static_cast<double>(c) * spacing_ft,
+                                      static_cast<double>(r) * spacing_ft});
+    }
+  }
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.spacing_ = spacing_ft;
+  return t;
+}
+
+}  // namespace mnp::net

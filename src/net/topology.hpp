@@ -1,0 +1,57 @@
+// Node placement. The paper's deployments are all regular grids (indoor
+// classroom, grass field, and the TOSSIM simulations), so grids get a
+// first-class builder; arbitrary placements are supported for tests.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace mnp::net {
+
+struct Position {
+  double x = 0.0;  // feet
+  double y = 0.0;  // feet
+};
+
+inline double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::vector<Position> positions)
+      : positions_(std::move(positions)) {}
+
+  /// rows x cols grid with `spacing_ft` between adjacent nodes; node id
+  /// r*cols + c sits at (c*spacing, r*spacing). All paper deployments use
+  /// this layout with the base station at a corner.
+  static Topology grid(std::size_t rows, std::size_t cols, double spacing_ft);
+
+  std::size_t size() const { return positions_.size(); }
+  const Position& position(NodeId id) const { return positions_.at(id); }
+  double node_distance(NodeId a, NodeId b) const {
+    return distance(position(a), position(b));
+  }
+
+  void add(Position p) { positions_.push_back(p); }
+
+  /// Grid helpers (only meaningful for grid-built topologies).
+  std::size_t grid_rows() const { return rows_; }
+  std::size_t grid_cols() const { return cols_; }
+  double grid_spacing() const { return spacing_; }
+  bool is_grid() const { return rows_ > 0; }
+
+ private:
+  std::vector<Position> positions_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  double spacing_ = 0.0;
+};
+
+}  // namespace mnp::net

@@ -1,0 +1,4 @@
+#include "node/application.hpp"
+
+// Interface-only TU: keeps the vtable anchored in one object file.
+namespace mnp::node {}

@@ -1,0 +1,29 @@
+// Application interface: what a protocol implementation looks like to the
+// mote runtime. A Node (node.hpp) provides the TinyOS-ish services —
+// timers, radio control, packet send, EEPROM — and forwards decoded
+// packets here.
+#pragma once
+
+#include "net/packet.hpp"
+
+namespace mnp::node {
+
+class Node;
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Called once when the mote boots. `node` outlives the application and
+  /// is the handle to every runtime service.
+  virtual void start(Node& node) = 0;
+
+  /// Called for every packet the radio decoded while listening.
+  virtual void on_packet(const net::Packet& pkt) = 0;
+
+  /// True once this application holds the complete, verified program
+  /// image (used by harnesses to decide when dissemination finished).
+  virtual bool has_complete_image() const = 0;
+};
+
+}  // namespace mnp::node

@@ -1,0 +1,57 @@
+// Network: the full assembly — topology, link model, channel, stats and
+// one Node per position. This is the object examples and benches build.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/link_model.hpp"
+#include "net/topology.hpp"
+#include "node/node.hpp"
+#include "node/stats.hpp"
+#include "sim/simulator.hpp"
+
+namespace mnp::node {
+
+class Network {
+ public:
+  /// The link model is created *after* the network owns the topology (link
+  /// models hold a reference to it), hence the factory.
+  using LinkModelFactory =
+      std::function<std::unique_ptr<net::LinkModel>(const net::Topology&)>;
+
+  Network(sim::Simulator& sim, net::Topology topology,
+          const LinkModelFactory& make_links,
+          net::Channel::Params channel_params = {},
+          energy::EnergyModel energy_model = {},
+          const Node::MacFactory& mac_factory = nullptr);
+
+  std::size_t size() const { return nodes_.size(); }
+  Node& node(net::NodeId id) { return *nodes_.at(id); }
+  const Node& node(net::NodeId id) const { return *nodes_.at(id); }
+
+  const net::Topology& topology() const { return topology_; }
+  net::Channel& channel() { return channel_; }
+  StatsCollector& stats() { return stats_; }
+  const StatsCollector& stats() const { return stats_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Boots every node, each at an independent random offset within
+  /// [0, max_jitter] — motes in the field never power up simultaneously.
+  void boot_all(sim::Time max_jitter = sim::msec(500));
+
+  /// Number of nodes whose application reports a complete image.
+  std::size_t complete_image_count() const;
+
+ private:
+  sim::Simulator& sim_;
+  net::Topology topology_;
+  std::unique_ptr<net::LinkModel> links_;
+  StatsCollector stats_;
+  net::Channel channel_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace mnp::node

@@ -1,0 +1,92 @@
+// A mote: radio + CSMA MAC + EEPROM + energy meter + one application.
+//
+// The Node is the "operating system" facade handed to protocol code: it
+// stamps outgoing packets, exposes timers backed by the simulation
+// scheduler, and wires radio receptions into Application::on_packet.
+#pragma once
+
+#include <memory>
+
+#include "energy/energy_meter.hpp"
+#include "net/csma_mac.hpp"
+#include "net/channel.hpp"
+#include "net/radio.hpp"
+#include "node/application.hpp"
+#include "sim/simulator.hpp"
+#include "storage/eeprom.hpp"
+
+namespace mnp::node {
+
+class StatsCollector;
+
+class Node {
+ public:
+  /// Builds this node's MAC once the radio exists. A null factory means
+  /// the default CSMA MAC.
+  using MacFactory = std::function<std::unique_ptr<net::Mac>(
+      net::NodeId, net::Radio&, sim::Simulator&)>;
+
+  Node(net::NodeId id, sim::Simulator& sim, net::Channel& channel,
+       StatsCollector& stats, energy::EnergyModel energy_model = {},
+       std::size_t eeprom_capacity = storage::Eeprom::kDefaultCapacity,
+       const MacFactory& mac_factory = nullptr);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  /// Installs the protocol. Must be called before boot().
+  void set_application(std::unique_ptr<Application> app);
+
+  /// Boots the mote: radio on, application started.
+  void boot();
+
+  // --- services exposed to the application --------------------------------
+  net::NodeId id() const { return id_; }
+  sim::Time now() const { return sim_.now(); }
+
+  /// One-shot timer; cancel via the returned handle.
+  sim::EventHandle schedule(sim::Time delay, sim::Scheduler::Action action) {
+    return sim_.scheduler().schedule_after(delay, std::move(action));
+  }
+
+  /// Queues `pkt` on the MAC (src is stamped here). Returns false if
+  /// dropped (queue full / radio off).
+  bool send(net::Packet pkt);
+
+  void radio_on() {
+    if (!dead_) radio_.turn_on();
+  }
+  void radio_off();
+  bool radio_is_on() const { return radio_.is_on(); }
+
+  /// Fault injection: the mote dies (battery pulled / crashed). The radio
+  /// goes silent permanently; pending application timers still fire but
+  /// can neither send nor receive — exactly the failure mode the paper's
+  /// download timeout exists for ("the sender dies as it is sending
+  /// packets").
+  void kill();
+  bool is_dead() const { return dead_; }
+
+  net::Mac& mac() { return *mac_; }
+  net::Radio& radio() { return radio_; }
+  storage::Eeprom& eeprom() { return eeprom_; }
+  energy::EnergyMeter& meter() { return meter_; }
+  sim::Rng& rng() { return rng_; }
+  StatsCollector& stats() { return stats_; }
+  Application* application() { return app_.get(); }
+  const Application* application() const { return app_.get(); }
+
+ private:
+  net::NodeId id_;
+  sim::Simulator& sim_;
+  StatsCollector& stats_;
+  energy::EnergyMeter meter_;
+  net::Radio radio_;
+  std::unique_ptr<net::Mac> mac_;
+  storage::Eeprom eeprom_;
+  sim::Rng rng_;
+  std::unique_ptr<Application> app_;
+  bool dead_ = false;
+};
+
+}  // namespace mnp::node

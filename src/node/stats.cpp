@@ -1,0 +1,131 @@
+#include "node/stats.hpp"
+
+#include <algorithm>
+
+namespace mnp::node {
+
+std::uint64_t NodeStats::total_sent() const {
+  std::uint64_t n = 0;
+  for (const auto& [type, count] : sent) n += count;
+  return n;
+}
+
+std::uint64_t NodeStats::total_received() const {
+  std::uint64_t n = 0;
+  for (const auto& [type, count] : received) n += count;
+  return n;
+}
+
+std::uint64_t NodeStats::sent_of(net::PacketType t) const {
+  auto it = sent.find(t);
+  return it == sent.end() ? 0 : it->second;
+}
+
+std::uint64_t NodeStats::received_of(net::PacketType t) const {
+  auto it = received.find(t);
+  return it == received.end() ? 0 : it->second;
+}
+
+MsgClass classify(net::PacketType t) {
+  using net::PacketType;
+  switch (t) {
+    case PacketType::kAdvertisement:
+    case PacketType::kDelugeSummary:
+    case PacketType::kMoapPublish:
+      return MsgClass::kAdvertisement;
+    case PacketType::kDownloadRequest:
+    case PacketType::kRepairRequest:
+    case PacketType::kDelugeRequest:
+    case PacketType::kMoapSubscribe:
+    case PacketType::kMoapNack:
+    case PacketType::kXnpFixRequest:
+      return MsgClass::kRequest;
+    case PacketType::kData:
+    case PacketType::kDelugeData:
+    case PacketType::kMoapData:
+    case PacketType::kXnpData:
+      return MsgClass::kData;
+    default:
+      return MsgClass::kOther;
+  }
+}
+
+net::PacketType representative(MsgClass c) {
+  switch (c) {
+    case MsgClass::kAdvertisement: return net::PacketType::kAdvertisement;
+    case MsgClass::kRequest: return net::PacketType::kDownloadRequest;
+    case MsgClass::kData: return net::PacketType::kData;
+    case MsgClass::kOther: return net::PacketType::kQuery;
+  }
+  return net::PacketType::kQuery;
+}
+
+StatsCollector::StatsCollector(std::size_t node_count) : nodes_(node_count) {}
+
+void StatsCollector::on_transmit(net::NodeId src, const net::Packet& pkt,
+                                 sim::Time now) {
+  if (src < nodes_.size()) ++nodes_[src].sent[pkt.type()];
+  const std::int64_t minute = now / sim::minutes(1);
+  ++timeline_[minute][static_cast<std::size_t>(classify(pkt.type()))];
+  if (event_log_) {
+    event_log_->record(now, src, trace::EventKind::kPacketSent,
+                       net::to_string(pkt.type()));
+  }
+}
+
+void StatsCollector::on_deliver(net::NodeId /*src*/, net::NodeId dst,
+                                const net::Packet& pkt, sim::Time now) {
+  if (dst < nodes_.size()) ++nodes_[dst].received[pkt.type()];
+  if (event_log_) {
+    event_log_->record(now, dst, trace::EventKind::kPacketReceived,
+                       net::to_string(pkt.type()));
+  }
+}
+
+void StatsCollector::on_collision(net::NodeId victim, sim::Time /*now*/) {
+  if (victim < nodes_.size()) ++nodes_[victim].collisions_suffered;
+}
+
+void StatsCollector::on_completed(net::NodeId id, sim::Time now) {
+  if (id >= nodes_.size()) return;
+  NodeStats& n = nodes_[id];
+  if (n.completion_time >= 0) return;  // already recorded
+  n.completion_time = now;
+  ++completed_;
+  if (event_log_) {
+    event_log_->record(now, id, trace::EventKind::kImageCompleted);
+  }
+}
+
+void StatsCollector::on_segment_completed(net::NodeId id, std::uint16_t seg,
+                                          sim::Time now) {
+  if (id >= nodes_.size() || seg == 0) return;
+  auto& v = nodes_[id].segment_completion;
+  if (v.size() < seg) v.resize(seg, sim::kNever);
+  if (v[seg - 1] < 0) v[seg - 1] = now;
+  if (event_log_) {
+    event_log_->record(now, id, trace::EventKind::kSegmentCompleted,
+                       std::to_string(seg));
+  }
+}
+
+void StatsCollector::on_parent_set(net::NodeId id, net::NodeId parent) {
+  if (id < nodes_.size()) nodes_[id].parent = static_cast<int>(parent);
+}
+
+void StatsCollector::on_became_sender(net::NodeId id, sim::Time now) {
+  if (id >= nodes_.size()) return;
+  NodeStats& n = nodes_[id];
+  if (n.became_sender >= 0) return;
+  n.became_sender = now;
+  sender_order_.push_back(id);
+}
+
+sim::Time StatsCollector::completion_time() const {
+  if (completed_ != nodes_.size()) return sim::kNever;
+  sim::Time latest = 0;
+  for (const auto& n : nodes_) latest = std::max(latest, n.completion_time);
+  return latest;
+}
+
+}  // namespace mnp::node

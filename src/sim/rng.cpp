@@ -1,0 +1,46 @@
+#include "sim/rng.hpp"
+
+#include <algorithm>
+
+namespace mnp::sim {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo >= hi) return lo;
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  if (lo >= hi) return lo;
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  p = std::clamp(p, 0.0, 1.0);
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) return 0.0;
+  return std::exponential_distribution<double>(1.0 / mean)(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (stddev <= 0.0) return mean;
+  return std::normal_distribution<double>(mean, stddev)(engine_);
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  // Mix a fresh draw with the salt through splitmix64 so child streams are
+  // decorrelated even for adjacent salts.
+  std::uint64_t x = engine_() ^ (salt + 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return Rng(x);
+}
+
+}  // namespace mnp::sim

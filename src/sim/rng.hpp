@@ -1,0 +1,42 @@
+// Deterministic random number generation.
+//
+// Every run is fully reproducible from a single 64-bit seed: the simulator
+// owns a root Rng and derives per-node / per-channel streams from it, so
+// adding randomness in one module never perturbs another module's stream.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace mnp::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Gaussian with the given mean/stddev.
+  double normal(double mean, double stddev);
+
+  /// Derives an independent child stream. Deterministic: the same parent
+  /// state + salt always yields the same child.
+  Rng fork(std::uint64_t salt);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mnp::sim

@@ -1,0 +1,79 @@
+#include "sim/scheduler.hpp"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace mnp::sim {
+
+EventHandle Scheduler::schedule_at(Time when, Action action) {
+  if (when < now_) when = now_;
+  EventHandle handle;
+  handle.state_ = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{when, next_seq_++, std::move(action), handle.state_});
+  ++live_;
+  return handle;
+}
+
+EventHandle Scheduler::schedule_after(Time delay, Action action) {
+  if (delay < 0) delay = 0;
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+void Scheduler::prune_tombstones() {
+  while (!queue_.empty() && queue_.top().state->done) {
+    queue_.pop();
+    --live_;
+  }
+}
+
+bool Scheduler::empty() {
+  prune_tombstones();
+  return queue_.empty();
+}
+
+Time Scheduler::next_event_time() {
+  prune_tombstones();
+  return queue_.empty() ? kNever : queue_.top().when;
+}
+
+std::uint64_t Scheduler::run_until(Time until) {
+  std::uint64_t count = 0;
+  for (;;) {
+    prune_tombstones();
+    if (queue_.empty() || queue_.top().when > until) break;
+    Entry e = queue_.top();
+    queue_.pop();
+    --live_;
+    e.state->done = true;
+    assert(e.when >= now_);
+    now_ = e.when;
+    ++executed_;
+    ++count;
+    e.action();
+  }
+  // The window [now_, until] is fully processed: park the clock at the
+  // horizon so repeated relative windows (run_until(now() + dt)) make
+  // progress across event gaps. run_all()'s "forever" horizon is exempt —
+  // the clock would otherwise jump to +infinity.
+  if (until != std::numeric_limits<Time>::max() && until > now_) {
+    now_ = until;
+  }
+  return count;
+}
+
+bool Scheduler::step() {
+  prune_tombstones();
+  if (queue_.empty()) return false;
+  Entry e = queue_.top();
+  queue_.pop();
+  --live_;
+  e.state->done = true;
+  assert(e.when >= now_);
+  now_ = e.when;
+  ++executed_;
+  e.action();
+  return true;
+}
+
+}  // namespace mnp::sim

@@ -1,0 +1,96 @@
+// Discrete event scheduler: the heart of the TOSSIM-like simulator.
+//
+// Events are closures ordered by (time, insertion sequence) so same-time
+// events run in a deterministic FIFO order. Cancellation is O(1) via a
+// shared tombstone flag; cancelled events are skipped when popped.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace mnp::sim {
+
+/// Handle to a scheduled event. Copyable; all copies refer to the same
+/// event. A default-constructed handle refers to nothing.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still queued (not fired, not cancelled).
+  bool pending() const { return state_ && !state_->done; }
+
+  /// Cancels the event if still pending. Safe to call repeatedly, safe on a
+  /// default-constructed handle, safe after the event fired.
+  void cancel() {
+    if (state_) state_->done = true;
+  }
+
+ private:
+  friend class Scheduler;
+  struct State {
+    bool done = false;
+  };
+  std::shared_ptr<State> state_;
+};
+
+class Scheduler {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when` (must be >= now()).
+  EventHandle schedule_at(Time when, Action action);
+
+  /// Schedules `action` `delay` microseconds from now (clamped to >= 0).
+  EventHandle schedule_after(Time delay, Action action);
+
+  Time now() const { return now_; }
+  /// True when no live (non-cancelled) event remains. Prunes tombstones.
+  bool empty();
+  /// Queued entries, counting cancelled-but-unswept tombstones.
+  std::size_t pending_events() const { return live_; }
+  std::uint64_t executed_events() const { return executed_; }
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `until`; the clock ends at min(until, last event time). Returns the
+  /// number of events executed.
+  std::uint64_t run_until(Time until);
+
+  /// Runs everything. Intended for tests; production runs give a horizon.
+  std::uint64_t run_all() { return run_until(std::numeric_limits<Time>::max()); }
+
+  /// Executes at most one pending event. Returns false if none remained.
+  bool step();
+
+  /// Time of the next live event, or kNever if none. Prunes tombstones.
+  Time next_event_time();
+
+ private:
+  void prune_tombstones();
+
+  struct Entry {
+    Time when;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;  // queued entries not yet cancelled
+};
+
+}  // namespace mnp::sim

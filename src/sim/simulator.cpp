@@ -1,0 +1,11 @@
+#include "sim/simulator.hpp"
+
+namespace mnp::sim {
+
+bool Simulator::step_bounded(Time deadline) {
+  const Time next = scheduler_.next_event_time();
+  if (next == kNever || next > deadline) return false;
+  return scheduler_.step();
+}
+
+}  // namespace mnp::sim

@@ -1,0 +1,49 @@
+// Simulator: scheduler + root RNG + run control, the object everything
+// else hangs off. One Simulator == one reproducible run.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/time.hpp"
+
+namespace mnp::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : root_rng_(seed) {}
+
+  Scheduler& scheduler() { return scheduler_; }
+  Time now() const { return scheduler_.now(); }
+
+  /// The root RNG. Modules should fork their own stream once at setup via
+  /// `fork_rng` rather than drawing from this directly.
+  Rng& root_rng() { return root_rng_; }
+  Rng fork_rng(std::uint64_t salt) { return root_rng_.fork(salt); }
+
+  /// Runs until `deadline` or event exhaustion; returns events executed.
+  std::uint64_t run_until(Time deadline) { return scheduler_.run_until(deadline); }
+
+  /// Runs until `predicate()` turns true, checking after every event, or
+  /// until `deadline`. Returns true if the predicate was satisfied.
+  template <typename Pred>
+  bool run_until_condition(Time deadline, Pred&& predicate) {
+    while (!predicate()) {
+      if (scheduler_.empty()) return false;
+      if (now() >= deadline) return false;
+      // Step one event; step() returns false only when empty.
+      if (!step_bounded(deadline)) return false;
+    }
+    return true;
+  }
+
+ private:
+  /// Steps one event if it is at or before `deadline`.
+  bool step_bounded(Time deadline);
+
+  Scheduler scheduler_;
+  Rng root_rng_;
+};
+
+}  // namespace mnp::sim

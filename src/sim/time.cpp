@@ -1,0 +1,21 @@
+#include "sim/time.hpp"
+
+#include <cstdio>
+
+namespace mnp::sim {
+
+std::string format_time(Time t) {
+  if (t < 0) return "never";
+  const double total_sec = to_seconds(t);
+  const auto whole_min = static_cast<long>(total_sec / 60.0);
+  const double rem_sec = total_sec - static_cast<double>(whole_min) * 60.0;
+  char buf[64];
+  if (whole_min > 0) {
+    std::snprintf(buf, sizeof(buf), "%ldm%04.1fs", whole_min, rem_sec);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fs", rem_sec);
+  }
+  return buf;
+}
+
+}  // namespace mnp::sim

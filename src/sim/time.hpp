@@ -1,0 +1,30 @@
+// Simulation time: a signed 64-bit count of microseconds.
+//
+// Microsecond granularity comfortably resolves Mica-2 radio events (a
+// packet airtime is ~15,000 us) while letting multi-hour reprogramming
+// runs fit without overflow (2^63 us ~ 292k years).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mnp::sim {
+
+using Time = std::int64_t;  // microseconds since simulation start
+
+inline constexpr Time kNever = -1;
+
+constexpr Time usec(std::int64_t n) { return n; }
+constexpr Time msec(std::int64_t n) { return n * 1000; }
+constexpr Time sec(std::int64_t n) { return n * 1000 * 1000; }
+constexpr Time minutes(std::int64_t n) { return n * 60 * 1000 * 1000; }
+constexpr Time hours(std::int64_t n) { return n * 3600 * 1000 * 1000; }
+
+constexpr double to_seconds(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_minutes(Time t) { return static_cast<double>(t) / 60e6; }
+
+/// "12m34.5s"-style rendering for reports.
+std::string format_time(Time t);
+
+}  // namespace mnp::sim

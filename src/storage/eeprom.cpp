@@ -1,0 +1,42 @@
+#include "storage/eeprom.hpp"
+
+#include <algorithm>
+
+namespace mnp::storage {
+
+Eeprom::Eeprom(std::size_t capacity, energy::EnergyMeter* meter)
+    : data_(capacity, 0), written_(capacity, false), meter_(meter) {}
+
+bool Eeprom::write(std::size_t offset, const std::vector<std::uint8_t>& bytes) {
+  if (offset > data_.size() || bytes.size() > data_.size() - offset) return false;
+  if (track_write_once_) {
+    for (std::size_t i = 0; i < bytes.size(); ++i) {
+      if (written_[offset + i]) {
+        ++double_writes_;
+        break;
+      }
+    }
+  }
+  std::copy(bytes.begin(), bytes.end(), data_.begin() + static_cast<long>(offset));
+  std::fill(written_.begin() + static_cast<long>(offset),
+            written_.begin() + static_cast<long>(offset + bytes.size()), true);
+  ++total_writes_;
+  bytes_written_ += bytes.size();
+  if (meter_) meter_->count_eeprom_write(bytes.size());
+  return true;
+}
+
+std::vector<std::uint8_t> Eeprom::read(std::size_t offset, std::size_t length) {
+  if (offset > data_.size() || length > data_.size() - offset) return {};
+  ++total_reads_;
+  if (meter_) meter_->count_eeprom_read(length);
+  return {data_.begin() + static_cast<long>(offset),
+          data_.begin() + static_cast<long>(offset + length)};
+}
+
+void Eeprom::erase() {
+  std::fill(data_.begin(), data_.end(), std::uint8_t{0});
+  std::fill(written_.begin(), written_.end(), false);
+}
+
+}  // namespace mnp::storage

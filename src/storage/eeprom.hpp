@@ -1,0 +1,59 @@
+// External flash (EEPROM) model of a Mica-2 mote.
+//
+// Mica-2/XSM motes carry a 512 KB external flash used as the staging area
+// for incoming code images. The model stores bytes, charges the energy
+// meter per access, and — because MNP guarantees every packet is written
+// exactly once — can be armed to detect double writes to the same range.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "energy/energy_meter.hpp"
+
+namespace mnp::storage {
+
+class Eeprom {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 512 * 1024;
+
+  /// `meter` may be null (no energy accounting). Not owned.
+  explicit Eeprom(std::size_t capacity = kDefaultCapacity,
+                  energy::EnergyMeter* meter = nullptr);
+
+  std::size_t capacity() const { return data_.size(); }
+
+  /// Writes `bytes` at `offset`. Returns false (and writes nothing) if the
+  /// range falls outside capacity.
+  bool write(std::size_t offset, const std::vector<std::uint8_t>& bytes);
+
+  /// Reads `length` bytes at `offset` into a fresh vector; empty on a
+  /// range error.
+  std::vector<std::uint8_t> read(std::size_t offset, std::size_t length);
+
+  /// Erases all content and per-byte write marks (new reprogramming round).
+  void erase();
+
+  /// With write-once tracking on, a second write overlapping a previously
+  /// written byte bumps `double_writes()` — the MNP invariant violation
+  /// counter asserted on in tests.
+  void set_track_write_once(bool on) { track_write_once_ = on; }
+  std::uint64_t double_writes() const { return double_writes_; }
+
+  std::uint64_t total_writes() const { return total_writes_; }
+  std::uint64_t total_reads() const { return total_reads_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::vector<bool> written_;
+  energy::EnergyMeter* meter_;
+  bool track_write_once_ = false;
+  std::uint64_t double_writes_ = 0;
+  std::uint64_t total_writes_ = 0;
+  std::uint64_t total_reads_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace mnp::storage

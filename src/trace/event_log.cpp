@@ -1,0 +1,74 @@
+#include "trace/event_log.hpp"
+
+#include <sstream>
+
+namespace mnp::trace {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kStateChange: return "StateChange";
+    case EventKind::kRadioOn: return "RadioOn";
+    case EventKind::kRadioOff: return "RadioOff";
+    case EventKind::kPacketSent: return "PacketSent";
+    case EventKind::kPacketReceived: return "PacketReceived";
+    case EventKind::kSegmentCompleted: return "SegmentCompleted";
+    case EventKind::kImageCompleted: return "ImageCompleted";
+    case EventKind::kNote: return "Note";
+  }
+  return "?";
+}
+
+void EventLog::record(sim::Time time, net::NodeId node, EventKind kind,
+                      std::string detail) {
+  ++total_;
+  if (capacity_ == 0) return;
+  if (events_.size() == capacity_) events_.pop_front();
+  events_.push_back(Event{time, node, kind, std::move(detail)});
+}
+
+void EventLog::clear() {
+  events_.clear();
+  total_ = 0;
+}
+
+std::vector<Event> EventLog::query(
+    const std::function<bool(const Event&)>& pred) const {
+  std::vector<Event> out;
+  for (const Event& e : events_) {
+    if (pred(e)) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::for_node(net::NodeId node) const {
+  return query([node](const Event& e) { return e.node == node; });
+}
+
+std::vector<Event> EventLog::of_kind(EventKind kind) const {
+  return query([kind](const Event& e) { return e.kind == kind; });
+}
+
+std::map<EventKind, std::uint64_t> EventLog::counts_by_kind() const {
+  std::map<EventKind, std::uint64_t> counts;
+  for (const Event& e : events_) ++counts[e.kind];
+  return counts;
+}
+
+std::string EventLog::render(net::NodeId node, std::size_t max_lines) const {
+  std::ostringstream os;
+  std::size_t lines = 0;
+  for (const Event& e : events_) {
+    if (node != net::kBroadcastId && e.node != node) continue;
+    if (++lines > max_lines) {
+      os << "... (" << size() << " events total)\n";
+      break;
+    }
+    os << sim::format_time(e.time) << "  node " << e.node << "  "
+       << to_string(e.kind);
+    if (!e.detail.empty()) os << "  " << e.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mnp::trace

@@ -1,0 +1,69 @@
+// Protocol event log: a bounded, queryable record of what every node did
+// and when — state transitions, radio flips, traffic. Used for debugging
+// protocol behaviour and for rendering per-node timelines (the kind of
+// trace the paper's Figs. 5-7 were distilled from).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace mnp::trace {
+
+enum class EventKind : std::uint8_t {
+  kStateChange,   // detail = "Idle->Download" etc.
+  kRadioOn,
+  kRadioOff,
+  kPacketSent,    // detail = packet type name
+  kPacketReceived,
+  kSegmentCompleted,  // detail = segment id
+  kImageCompleted,
+  kNote,          // free-form protocol notes
+};
+
+const char* to_string(EventKind kind);
+
+struct Event {
+  sim::Time time = 0;
+  net::NodeId node = net::kNoNode;
+  EventKind kind = EventKind::kNote;
+  std::string detail;
+};
+
+class EventLog {
+ public:
+  /// Keeps at most `capacity` events; older ones are evicted FIFO.
+  explicit EventLog(std::size_t capacity = 100000) : capacity_(capacity) {}
+
+  void record(sim::Time time, net::NodeId node, EventKind kind,
+              std::string detail = {});
+
+  std::size_t size() const { return events_.size(); }
+  std::uint64_t total_recorded() const { return total_; }
+  std::uint64_t dropped() const { return total_ - events_.size(); }
+  void clear();
+
+  /// Events matching a predicate (in recording order).
+  std::vector<Event> query(const std::function<bool(const Event&)>& pred) const;
+  std::vector<Event> for_node(net::NodeId node) const;
+  std::vector<Event> of_kind(EventKind kind) const;
+  std::map<EventKind, std::uint64_t> counts_by_kind() const;
+
+  /// "12.3s  node 7  StateChange  Advertise->Forward" lines for one node
+  /// (all nodes if node == net::kBroadcastId), capped at `max_lines`.
+  std::string render(net::NodeId node = net::kBroadcastId,
+                     std::size_t max_lines = 200) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<Event> events_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mnp::trace

@@ -1,0 +1,79 @@
+#include "util/ascii_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mnp::util {
+
+std::string render_grid(std::size_t rows, std::size_t cols,
+                        const std::function<std::string(std::size_t, std::size_t)>& cell) {
+  std::vector<std::string> cells;
+  cells.reserve(rows * cols);
+  std::size_t width = 0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      cells.push_back(cell(r, c));
+      width = std::max(width, cells.back().size());
+    }
+  }
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& s = cells[r * cols + c];
+      out << s << std::string(width - s.size() + 1, ' ');
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string render_heatmap(std::size_t rows, std::size_t cols,
+                           const std::vector<double>& values_row_major,
+                           double lo, double hi) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kLevels = 10;
+  std::ostringstream out;
+  const double span = (hi > lo) ? (hi - lo) : 1.0;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::size_t i = r * cols + c;
+      double v = (i < values_row_major.size()) ? values_row_major[i] : lo;
+      int level = static_cast<int>(std::floor((v - lo) / span * kLevels));
+      level = std::clamp(level, 0, kLevels - 1);
+      out << kRamp[level];
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string render_parent_arrows(std::size_t rows, std::size_t cols,
+                                 const std::vector<int>& parent_row_major,
+                                 int base_index) {
+  auto arrow = [](int dr, int dc) -> std::string {
+    // 8-way arrows, direction from child toward parent.
+    if (dr < 0 && dc == 0) return "^";
+    if (dr > 0 && dc == 0) return "v";
+    if (dr == 0 && dc < 0) return "<";
+    if (dr == 0 && dc > 0) return ">";
+    if (dr < 0 && dc < 0) return "\\";   // up-left (points toward upper-left)
+    if (dr < 0 && dc > 0) return "/";    // up-right
+    if (dr > 0 && dc < 0) return "/";    // down-left
+    if (dr > 0 && dc > 0) return "\\";   // down-right
+    return "o";                          // parent is itself (shouldn't happen)
+  };
+  return render_grid(rows, cols, [&](std::size_t r, std::size_t c) -> std::string {
+    const int i = static_cast<int>(r * cols + c);
+    if (i == base_index) return "B";
+    const int p = (static_cast<std::size_t>(i) < parent_row_major.size())
+                      ? parent_row_major[static_cast<std::size_t>(i)]
+                      : -1;
+    if (p < 0) return ".";
+    const int pr = p / static_cast<int>(cols);
+    const int pc = p % static_cast<int>(cols);
+    return arrow(pr - static_cast<int>(r), pc - static_cast<int>(c));
+  });
+}
+
+}  // namespace mnp::util

@@ -1,0 +1,34 @@
+// ASCII rendering of per-node values laid out on a grid.
+//
+// The paper presents most results spatially (parent arrows on a grid,
+// active-radio-time heat maps, propagation wavefronts). Benches render
+// those as fixed-width ASCII tables/heatmaps so a terminal run of each
+// bench shows the same picture the paper's figure does.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mnp::util {
+
+/// Renders a rows x cols grid where each cell is produced by `cell(r, c)`.
+/// Cells are right-padded to the widest cell in the grid.
+std::string render_grid(std::size_t rows, std::size_t cols,
+                        const std::function<std::string(std::size_t, std::size_t)>& cell);
+
+/// Renders numeric values as a single-character-per-cell heat map using the
+/// ramp " .:-=+*#%@" (low..high). Useful for completion-wave snapshots.
+std::string render_heatmap(std::size_t rows, std::size_t cols,
+                           const std::vector<double>& values_row_major,
+                           double lo, double hi);
+
+/// Renders a parent map: each cell shows an arrow pointing from the node
+/// towards its parent's grid direction (8-way), 'B' for the base station,
+/// '.' for no parent. `parent_row_major[i]` is the parent node index or -1.
+std::string render_parent_arrows(std::size_t rows, std::size_t cols,
+                                 const std::vector<int>& parent_row_major,
+                                 int base_index);
+
+}  // namespace mnp::util

@@ -1,0 +1,114 @@
+#include "util/bitmap.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace mnp::util {
+
+Bitmap::Bitmap(std::size_t size) : size_(std::min(size, kMaxBits)) {}
+
+Bitmap Bitmap::all_set(std::size_t size) {
+  Bitmap b(size);
+  b.set_all();
+  return b;
+}
+
+bool Bitmap::test(std::size_t i) const {
+  if (i >= size_) return false;
+  return (bits_[i / 8] >> (i % 8)) & 1u;
+}
+
+void Bitmap::set(std::size_t i) {
+  if (i >= size_) return;
+  bits_[i / 8] = static_cast<std::uint8_t>(bits_[i / 8] | (1u << (i % 8)));
+}
+
+void Bitmap::clear(std::size_t i) {
+  if (i >= size_) return;
+  bits_[i / 8] = static_cast<std::uint8_t>(bits_[i / 8] & ~(1u << (i % 8)));
+}
+
+void Bitmap::set_all() {
+  bits_.fill(0);
+  for (std::size_t i = 0; i < size_; ++i) set(i);
+}
+
+void Bitmap::clear_all() { bits_.fill(0); }
+
+std::size_t Bitmap::count() const {
+  std::size_t n = 0;
+  for (std::size_t byte = 0; byte < byte_size(); ++byte) {
+    n += static_cast<std::size_t>(std::popcount(bits_[byte]));
+  }
+  return n;
+}
+
+std::size_t Bitmap::find_first_set(std::size_t from) const {
+  for (std::size_t i = from; i < size_; ++i) {
+    if (test(i)) return i;
+  }
+  return size_;
+}
+
+Bitmap& Bitmap::operator|=(const Bitmap& other) {
+  const std::size_t bytes = std::min(byte_size(), other.byte_size());
+  for (std::size_t i = 0; i < bytes; ++i) bits_[i] |= other.bits_[i];
+  return *this;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& other) {
+  for (std::size_t i = 0; i < byte_size(); ++i) {
+    bits_[i] &= (i < other.byte_size()) ? other.bits_[i] : std::uint8_t{0};
+  }
+  return *this;
+}
+
+bool Bitmap::operator==(const Bitmap& other) const {
+  return size_ == other.size_ && bits_ == other.bits_;
+}
+
+Bitmap Bitmap::from_bytes(const std::array<std::uint8_t, kMaxBytes>& bytes,
+                          std::size_t size) {
+  Bitmap b(size);
+  b.bits_ = bytes;
+  // Mask out bits beyond `size` so equality and count stay well-defined.
+  for (std::size_t i = b.size_; i < kMaxBits; ++i) {
+    b.bits_[i / 8] = static_cast<std::uint8_t>(b.bits_[i / 8] & ~(1u << (i % 8)));
+  }
+  return b;
+}
+
+std::string Bitmap::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(test(i) ? '1' : '0');
+  return s;
+}
+
+std::size_t BigBitmap::count() const {
+  return static_cast<std::size_t>(std::count(bits_.begin(), bits_.end(), true));
+}
+
+std::size_t BigBitmap::find_first_set(std::size_t from) const {
+  for (std::size_t i = from; i < bits_.size(); ++i) {
+    if (bits_[i]) return i;
+  }
+  return bits_.size();
+}
+
+Bitmap BigBitmap::window(std::size_t base) const {
+  const std::size_t width = std::min(Bitmap::kMaxBits, bits_.size() - std::min(base, bits_.size()));
+  Bitmap w(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    if (test(base + i)) w.set(i);
+  }
+  return w;
+}
+
+void BigBitmap::merge_window(std::size_t base, const Bitmap& w) {
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w.test(i)) set(base + i);
+  }
+}
+
+}  // namespace mnp::util

@@ -1,0 +1,115 @@
+// Fixed-capacity bitmap used for MNP's MissingVector / ForwardVector.
+//
+// The paper restricts a segment to at most 128 packets so that the missing
+// vector is 16 bytes and fits inside a single radio packet. This class
+// models exactly that: a compact bit vector with a byte-serializable
+// representation and the set-algebra operations the protocol needs
+// (union for ForwardVector accumulation, iteration for transmission order).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mnp::util {
+
+/// Compact bitmap over up to `kMaxBits` bits (128 = MNP's max segment size).
+/// Bit semantics are defined by the caller; MNP uses 1 = "packet missing"
+/// (MissingVector) or 1 = "packet must be forwarded" (ForwardVector).
+class Bitmap {
+ public:
+  static constexpr std::size_t kMaxBits = 128;
+  static constexpr std::size_t kMaxBytes = kMaxBits / 8;
+
+  /// Creates a bitmap of `size` bits, all cleared.
+  /// Precondition: size <= kMaxBits (clamped otherwise).
+  explicit Bitmap(std::size_t size = 0);
+
+  /// Creates a bitmap of `size` bits, all set. This is how MNP initializes
+  /// a MissingVector: every packet starts out missing.
+  static Bitmap all_set(std::size_t size);
+
+  std::size_t size() const { return size_; }
+  std::size_t byte_size() const { return (size_ + 7) / 8; }
+
+  bool test(std::size_t i) const;
+  void set(std::size_t i);
+  void clear(std::size_t i);
+  void set_all();
+  void clear_all();
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool any() const { return count() > 0; }
+  bool none() const { return count() == 0; }
+
+  /// Index of the first set bit at or after `from`, or `size()` if none.
+  std::size_t find_first_set(std::size_t from = 0) const;
+
+  /// In-place union; used by the sender to merge requesters' missing
+  /// vectors into its ForwardVector. Sizes must match.
+  Bitmap& operator|=(const Bitmap& other);
+  /// In-place intersection.
+  Bitmap& operator&=(const Bitmap& other);
+
+  friend Bitmap operator|(Bitmap a, const Bitmap& b) { return a |= b; }
+  friend Bitmap operator&(Bitmap a, const Bitmap& b) { return a &= b; }
+  bool operator==(const Bitmap& other) const;
+
+  /// Raw bytes (little-bit-endian within a byte), length byte_size().
+  /// This is the on-air representation carried inside download requests.
+  std::array<std::uint8_t, kMaxBytes> to_bytes() const { return bits_; }
+  static Bitmap from_bytes(const std::array<std::uint8_t, kMaxBytes>& bytes,
+                           std::size_t size);
+
+  /// "101100..." debugging form, most significant bit = index 0.
+  std::string to_string() const;
+
+ private:
+  std::size_t size_ = 0;
+  std::array<std::uint8_t, kMaxBytes> bits_{};
+};
+
+/// Arbitrarily sized bitmap for the paper's *large segment* variant
+/// (section 3.3): when pipelining is off, a segment may exceed 128 packets
+/// and the receiver tracks loss in EEPROM instead of RAM. On the wire the
+/// missing information still travels as 128-bit windows (`window`), which
+/// the sender merges back with `merge_window`.
+class BigBitmap {
+ public:
+  explicit BigBitmap(std::size_t size = 0) : bits_(size, false) {}
+
+  static BigBitmap all_set(std::size_t size) {
+    BigBitmap b(size);
+    b.set_all();
+    return b;
+  }
+
+  std::size_t size() const { return bits_.size(); }
+  bool test(std::size_t i) const { return i < bits_.size() && bits_[i]; }
+  void set(std::size_t i) {
+    if (i < bits_.size()) bits_[i] = true;
+  }
+  void clear(std::size_t i) {
+    if (i < bits_.size()) bits_[i] = false;
+  }
+  void set_all() { std::fill(bits_.begin(), bits_.end(), true); }
+  void clear_all() { std::fill(bits_.begin(), bits_.end(), false); }
+  std::size_t count() const;
+  bool none() const { return count() == 0; }
+  bool any() const { return count() > 0; }
+  std::size_t find_first_set(std::size_t from = 0) const;
+
+  /// 128-bit window starting at `base` (bit i of the result = bit base+i).
+  Bitmap window(std::size_t base) const;
+  /// OR-merges a 128-bit window back in at `base`.
+  void merge_window(std::size_t base, const Bitmap& w);
+
+ private:
+  std::vector<bool> bits_;
+};
+
+}  // namespace mnp::util

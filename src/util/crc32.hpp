@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) — integrity check used by the
+// boot manager to validate staged images before installing them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mnp::util {
+
+/// CRC of `data`, optionally chained from a previous partial `seed`
+/// (pass the previous call's return value to continue a stream).
+std::uint32_t crc32(const std::uint8_t* data, std::size_t length,
+                    std::uint32_t seed = 0);
+
+inline std::uint32_t crc32(const std::vector<std::uint8_t>& data,
+                           std::uint32_t seed = 0) {
+  return crc32(data.data(), data.size(), seed);
+}
+
+}  // namespace mnp::util

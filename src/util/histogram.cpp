@@ -1,0 +1,50 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mnp::util {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  sum_sq_ += x * x;
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::stddev() const {
+  if (n_ == 0) return 0.0;
+  const double m = mean();
+  const double var = sum_sq_ / static_cast<double>(n_) - m * m;
+  return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi > lo ? hi : lo + 1.0), counts_(bins ? bins : 1, 0) {}
+
+void Histogram::add(double x) {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto i = static_cast<long>(std::floor(frac * static_cast<double>(counts_.size())));
+  i = std::clamp(i, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(i)];
+  ++total_;
+}
+
+std::string Histogram::render(std::size_t max_bar_width) const {
+  std::size_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream out;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double bin_lo = lo_ + width * static_cast<double>(i);
+    const std::size_t bar =
+        counts_[i] * max_bar_width / peak;
+    out << "[" << bin_lo << ", " << bin_lo + width << ") "
+        << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace mnp::util

@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace mnp::util {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::cerr << "[" << tag(level) << "] " << msg << "\n";
+}
+
+}  // namespace mnp::util

@@ -1,0 +1,55 @@
+// Minimal leveled logger for simulator tracing.
+//
+// The simulator is deterministic and single-threaded, so logging is a plain
+// global sink with a level filter. Benches and tests default to `kWarn` so
+// output stays readable; protocol debugging flips to `kTrace`.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace mnp::util {
+
+enum class LogLevel : std::uint8_t { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global log level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line to stderr, prefixed with the level tag.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace mnp::util
+
+#define MNP_LOG(level)                                  \
+  if (static_cast<int>(level) <                         \
+      static_cast<int>(::mnp::util::log_level())) {     \
+  } else                                                \
+    ::mnp::util::detail::LogStream(level)
+
+#define MNP_TRACE() MNP_LOG(::mnp::util::LogLevel::kTrace)
+#define MNP_DEBUG() MNP_LOG(::mnp::util::LogLevel::kDebug)
+#define MNP_INFO() MNP_LOG(::mnp::util::LogLevel::kInfo)
+#define MNP_WARN() MNP_LOG(::mnp::util::LogLevel::kWarn)
+#define MNP_ERROR() MNP_LOG(::mnp::util::LogLevel::kError)

@@ -1,0 +1,60 @@
+// Unit tests for the ASCII grid/heatmap/parent-arrow renderers.
+#include <gtest/gtest.h>
+
+#include "util/ascii_grid.hpp"
+
+namespace mnp::util {
+namespace {
+
+TEST(RenderGrid, PadsCellsToUniformWidth) {
+  const std::string out = render_grid(2, 2, [](std::size_t r, std::size_t c) {
+    return (r == 0 && c == 0) ? std::string("long") : std::string("x");
+  });
+  // Every cell padded to width 4 + separator.
+  EXPECT_EQ(out, "long x    \nx    x    \n");
+}
+
+TEST(RenderHeatmap, MapsRangeOntoRamp) {
+  const std::vector<double> v{0.0, 5.0, 10.0};
+  const std::string out = render_heatmap(1, 3, v, 0.0, 10.0);
+  ASSERT_EQ(out.size(), 4u);  // 3 cells + newline
+  EXPECT_EQ(out[0], ' ');     // minimum
+  EXPECT_EQ(out[2], '@');     // maximum
+  EXPECT_NE(out[1], ' ');
+  EXPECT_NE(out[1], '@');
+}
+
+TEST(RenderHeatmap, DegenerateRangeDoesNotDivideByZero) {
+  const std::vector<double> v{1.0, 1.0};
+  const std::string out = render_heatmap(1, 2, v, 1.0, 1.0);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(RenderHeatmap, MissingValuesRenderAsLow) {
+  const std::string out = render_heatmap(1, 3, {9.0}, 0.0, 9.0);
+  EXPECT_EQ(out[0], '@');
+  EXPECT_EQ(out[1], ' ');
+  EXPECT_EQ(out[2], ' ');
+}
+
+TEST(RenderParentArrows, MarksBaseAndOrphans) {
+  // 2x2 grid: node 0 base, node 1 -> 0, node 2 orphan, node 3 -> 0.
+  const std::vector<int> parents{-1, 0, -1, 0};
+  const std::string out = render_parent_arrows(2, 2, parents, 0);
+  // Row 0: B and '<' (parent to the left); row 1: '.' and '\' (up-left).
+  EXPECT_EQ(out, "B < \n. \\ \n");
+}
+
+TEST(RenderParentArrows, CardinalDirections) {
+  // 3x3, center node 4; neighbors point at it.
+  std::vector<int> parents(9, -1);
+  parents[1] = 4;  // below => v
+  parents[7] = 4;  // above => ^
+  parents[3] = 4;  // right => >
+  parents[5] = 4;  // left  => <
+  const std::string out = render_parent_arrows(3, 3, parents, 4);
+  EXPECT_EQ(out, ". v . \n> B < \n. ^ . \n");
+}
+
+}  // namespace
+}  // namespace mnp::util

@@ -1,0 +1,305 @@
+// Unit-level tests for the baseline protocols, driven by a scripted
+// puppet peer (integration behaviour is covered in test_deluge/moap/xnp).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "baselines/deluge_node.hpp"
+#include "baselines/moap_node.hpp"
+#include "node/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mnp::baselines {
+namespace {
+
+using net::Packet;
+using net::PacketType;
+
+class PuppetApp final : public node::Application {
+ public:
+  void start(node::Node& node) override {
+    node_ = &node;
+    node_->radio_on();
+  }
+  void on_packet(const Packet& pkt) override { received.push_back(pkt); }
+  bool has_complete_image() const override { return true; }
+  void send(Packet pkt) { node_->send(std::move(pkt)); }
+
+  std::vector<Packet> received;
+  std::size_t count(PacketType t) const {
+    std::size_t n = 0;
+    for (const auto& p : received) {
+      if (p.type() == t) ++n;
+    }
+    return n;
+  }
+  const Packet* last(PacketType t) const {
+    const Packet* out = nullptr;
+    for (const auto& p : received) {
+      if (p.type() == t) out = &p;
+    }
+    return out;
+  }
+
+ private:
+  node::Node* node_ = nullptr;
+};
+
+// ---------------------------------------------------------------------------
+// Deluge
+// ---------------------------------------------------------------------------
+
+class DelugeUnitTest : public ::testing::Test {
+ protected:
+  void build(bool node_is_base) {
+    cfg_.packets_per_page = 8;
+    cfg_.payload_bytes = 4;
+    cfg_.tau_low = sim::msec(100);
+    cfg_.tau_high = sim::msec(3200);
+    sim_ = std::make_unique<sim::Simulator>(4);
+    net::Topology topo;
+    topo.add({0.0, 0.0});
+    topo.add({10.0, 0.0});
+    network_ = std::make_unique<node::Network>(
+        *sim_, std::move(topo), [](const net::Topology& t) {
+          return std::make_unique<net::DiskLinkModel>(t, 50.0);
+        });
+    image_ = std::make_shared<const core::ProgramImage>(
+        1, 2 * 8 * 4, cfg_.packets_per_page, cfg_.payload_bytes);
+    auto puppet = std::make_unique<PuppetApp>();
+    puppet_ = puppet.get();
+    network_->node(0).set_application(std::move(puppet));
+    auto deluge = node_is_base
+                      ? std::make_unique<DelugeNode>(cfg_, image_)
+                      : std::make_unique<DelugeNode>(cfg_);
+    deluge_ = deluge.get();
+    network_->node(1).set_application(std::move(deluge));
+    network_->node(0).boot();
+    network_->node(1).boot();
+  }
+
+  void run_for(sim::Time span) { sim_->run_until(sim_->now() + span); }
+
+  void puppet_summary(std::uint16_t complete_pages) {
+    Packet pkt;
+    net::DelugeSummaryMsg msg;
+    msg.version = image_->id();
+    msg.total_pages = image_->num_segments();
+    msg.complete_pages = complete_pages;
+    msg.program_bytes = static_cast<std::uint32_t>(image_->total_bytes());
+    pkt.payload = msg;
+    puppet_->send(std::move(pkt));
+  }
+
+  DelugeConfig cfg_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<node::Network> network_;
+  std::shared_ptr<const core::ProgramImage> image_;
+  PuppetApp* puppet_ = nullptr;
+  DelugeNode* deluge_ = nullptr;
+};
+
+TEST_F(DelugeUnitTest, MaintainsSummariesWithTrickleBackoff) {
+  build(/*node_is_base=*/true);
+  run_for(sim::sec(2));
+  const std::size_t early = puppet_->count(PacketType::kDelugeSummary);
+  EXPECT_GE(early, 2u);  // fast rounds initially (tau_low = 100 ms)
+  puppet_->received.clear();
+  run_for(sim::sec(10));
+  // Quiet network: tau doubled toward tau_high, so the rate drops well
+  // below the initial one (10 s / 100 ms = 100 would be un-backed-off).
+  EXPECT_LT(puppet_->count(PacketType::kDelugeSummary), 20u);
+}
+
+TEST_F(DelugeUnitTest, ConsistentSummariesSuppressOurs) {
+  build(/*node_is_base=*/true);
+  // Flood it with matching summaries; its own must be suppressed.
+  for (int i = 0; i < 40; ++i) {
+    puppet_summary(image_->num_segments());
+    run_for(sim::msec(100));
+  }
+  EXPECT_LT(puppet_->count(PacketType::kDelugeSummary), 8u);
+}
+
+TEST_F(DelugeUnitTest, BehindSummaryTriggersNothingButReset) {
+  build(/*node_is_base=*/true);
+  puppet_->received.clear();
+  puppet_summary(0);  // the puppet claims to have nothing
+  run_for(sim::msec(400));
+  // The base doesn't push unsolicited data; it resets tau and advertises.
+  EXPECT_EQ(puppet_->count(PacketType::kDelugeData), 0u);
+  EXPECT_GE(puppet_->count(PacketType::kDelugeSummary), 1u);
+}
+
+TEST_F(DelugeUnitTest, AheadSummaryDrawsARequest) {
+  build(/*node_is_base=*/false);
+  puppet_summary(2);
+  run_for(sim::sec(1));
+  ASSERT_GE(puppet_->count(PacketType::kDelugeRequest), 1u);
+  const auto* req =
+      puppet_->last(PacketType::kDelugeRequest)->as<net::DelugeRequestMsg>();
+  EXPECT_EQ(req->dest, 0);
+  EXPECT_EQ(req->page, 1);                 // pages are fetched in order
+  EXPECT_EQ(req->missing.count(), 8u);     // whole page missing
+}
+
+TEST_F(DelugeUnitTest, RequestedPacketsAreStreamed) {
+  build(/*node_is_base=*/true);
+  Packet pkt;
+  net::DelugeRequestMsg req;
+  req.dest = 1;
+  req.page = 1;
+  req.missing = util::Bitmap(8);
+  req.missing.set(2);
+  req.missing.set(5);
+  pkt.payload = req;
+  puppet_->send(std::move(pkt));
+  run_for(sim::sec(1));
+  EXPECT_EQ(puppet_->count(PacketType::kDelugeData), 2u);
+  const auto* last =
+      puppet_->last(PacketType::kDelugeData)->as<net::DelugeDataMsg>();
+  EXPECT_EQ(last->pkt_id, 5);
+}
+
+TEST_F(DelugeUnitTest, RequestForUnownedPageIgnored) {
+  build(/*node_is_base=*/false);  // has no pages at all
+  Packet pkt;
+  net::DelugeRequestMsg req;
+  req.dest = 1;
+  req.page = 1;
+  req.missing = util::Bitmap::all_set(8);
+  pkt.payload = req;
+  puppet_->send(std::move(pkt));
+  run_for(sim::sec(1));
+  EXPECT_EQ(puppet_->count(PacketType::kDelugeData), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MOAP
+// ---------------------------------------------------------------------------
+
+class MoapUnitTest : public ::testing::Test {
+ protected:
+  void build(bool node_is_base) {
+    cfg_.payload_bytes = 4;
+    cfg_.publish_interval_min = sim::msec(100);
+    cfg_.publish_interval_max = sim::msec(200);
+    sim_ = std::make_unique<sim::Simulator>(6);
+    net::Topology topo;
+    topo.add({0.0, 0.0});
+    topo.add({10.0, 0.0});
+    network_ = std::make_unique<node::Network>(
+        *sim_, std::move(topo), [](const net::Topology& t) {
+          return std::make_unique<net::DiskLinkModel>(t, 50.0);
+        });
+    image_ = std::make_shared<const core::ProgramImage>(1, 16 * 4, 128, 4);
+    auto puppet = std::make_unique<PuppetApp>();
+    puppet_ = puppet.get();
+    network_->node(0).set_application(std::move(puppet));
+    auto moap = node_is_base ? std::make_unique<MoapNode>(cfg_, image_)
+                             : std::make_unique<MoapNode>(cfg_);
+    moap_ = moap.get();
+    network_->node(1).set_application(std::move(moap));
+    network_->node(0).boot();
+    network_->node(1).boot();
+  }
+
+  void run_for(sim::Time span) { sim_->run_until(sim_->now() + span); }
+
+  MoapConfig cfg_;
+  std::unique_ptr<sim::Simulator> sim_;
+  std::unique_ptr<node::Network> network_;
+  std::shared_ptr<const core::ProgramImage> image_;
+  PuppetApp* puppet_ = nullptr;
+  MoapNode* moap_ = nullptr;
+};
+
+TEST_F(MoapUnitTest, PublisherAnnouncesAndAwaitsSubscribers) {
+  build(/*node_is_base=*/true);
+  run_for(sim::sec(1));
+  EXPECT_GE(puppet_->count(PacketType::kMoapPublish), 1u);
+  // No subscriber => no data.
+  EXPECT_EQ(puppet_->count(PacketType::kMoapData), 0u);
+}
+
+TEST_F(MoapUnitTest, SubscriptionTriggersLinearStream) {
+  build(/*node_is_base=*/true);
+  run_for(sim::msec(300));  // catch a publish
+  Packet sub;
+  sub.payload = net::MoapSubscribeMsg{1};
+  puppet_->send(std::move(sub));
+  run_for(sim::sec(3));
+  // The whole 16-packet image is streamed in order.
+  EXPECT_EQ(puppet_->count(PacketType::kMoapData), 16u);
+  EXPECT_EQ(puppet_->last(PacketType::kMoapData)->as<net::MoapDataMsg>()->pkt_id,
+            15);
+}
+
+TEST_F(MoapUnitTest, NackDrawsRetransmission) {
+  build(/*node_is_base=*/true);
+  run_for(sim::msec(300));
+  Packet sub;
+  sub.payload = net::MoapSubscribeMsg{1};
+  puppet_->send(std::move(sub));
+  // Wait just until the stream finishes (publisher enters its repair
+  // phase) — the repair window is short.
+  for (int i = 0; i < 50 && puppet_->count(PacketType::kMoapData) < 16; ++i) {
+    run_for(sim::msec(100));
+  }
+  ASSERT_EQ(puppet_->count(PacketType::kMoapData), 16u);
+  puppet_->received.clear();
+  Packet nack;
+  nack.payload = net::MoapNackMsg{1, 7};
+  puppet_->send(std::move(nack));
+  run_for(sim::msec(500));
+  ASSERT_EQ(puppet_->count(PacketType::kMoapData), 1u);
+  EXPECT_EQ(puppet_->last(PacketType::kMoapData)->as<net::MoapDataMsg>()->pkt_id,
+            7);
+}
+
+TEST_F(MoapUnitTest, ReceiverSubscribesOnPublish) {
+  build(/*node_is_base=*/false);
+  Packet pub;
+  net::MoapPublishMsg msg;
+  msg.version = image_->id();
+  msg.total_packets = 16;
+  msg.program_bytes = static_cast<std::uint32_t>(image_->total_bytes());
+  pub.payload = msg;
+  puppet_->send(std::move(pub));
+  run_for(sim::sec(1));
+  EXPECT_EQ(puppet_->count(PacketType::kMoapSubscribe), 1u);
+  EXPECT_EQ(moap_->state(), MoapNode::State::kSubscribed);
+}
+
+TEST_F(MoapUnitTest, CompletedReceiverBecomesPublisher) {
+  build(/*node_is_base=*/false);
+  Packet pub;
+  net::MoapPublishMsg msg;
+  msg.version = image_->id();
+  msg.total_packets = 16;
+  msg.program_bytes = static_cast<std::uint32_t>(image_->total_bytes());
+  pub.payload = msg;
+  puppet_->send(std::move(pub));
+  run_for(sim::msec(300));
+  for (std::uint16_t p = 0; p < 16; ++p) {
+    Packet pkt;
+    net::MoapDataMsg d;
+    d.version = image_->id();
+    d.pkt_id = p;
+    const std::size_t off = static_cast<std::size_t>(p) * 4;
+    d.payload = {image_->bytes().begin() + static_cast<long>(off),
+                 image_->bytes().begin() + static_cast<long>(off + 4)};
+    pkt.payload = std::move(d);
+    puppet_->send(std::move(pkt));
+    run_for(sim::msec(50));
+  }
+  EXPECT_TRUE(moap_->has_complete_image());
+  // Hop-by-hop relay: it now publishes.
+  puppet_->received.clear();
+  run_for(sim::sec(1));
+  EXPECT_GE(puppet_->count(PacketType::kMoapPublish), 1u);
+}
+
+}  // namespace
+}  // namespace mnp::baselines

@@ -1,0 +1,190 @@
+// Boot manager + CRC tests: staging, validation, install, rollback
+// semantics, and the full OTA pipeline over a real dissemination.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "boot/boot_manager.hpp"
+#include "mnp/mnp_node.hpp"
+#include "node/network.hpp"
+#include "sim/simulator.hpp"
+#include "util/crc32.hpp"
+
+namespace mnp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+TEST(Crc32, KnownVectors) {
+  // IEEE CRC-32 of "123456789" is 0xCBF43926.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(util::crc32(digits, 9), 0xCBF43926u);
+  EXPECT_EQ(util::crc32(nullptr, 0), 0u);
+}
+
+TEST(Crc32, ChainingMatchesOneShot) {
+  std::vector<std::uint8_t> data(1000);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  const std::uint32_t whole = util::crc32(data);
+  const std::uint32_t part1 = util::crc32(data.data(), 400);
+  const std::uint32_t chained = util::crc32(data.data() + 400, 600, part1);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(256, 0xA5);
+  const std::uint32_t clean = util::crc32(data);
+  for (std::size_t i = 0; i < data.size(); i += 37) {
+    data[i] ^= 1;
+    EXPECT_NE(util::crc32(data), clean) << "flip at " << i;
+    data[i] ^= 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// BootManager
+// ---------------------------------------------------------------------------
+
+class BootTest : public ::testing::Test {
+ protected:
+  BootTest() : eeprom_(64 * 1024), boot_(eeprom_, 16 * 1024) {}
+
+  std::vector<std::uint8_t> stage_image(std::uint16_t id, std::uint16_t version,
+                                        std::size_t bytes) {
+    std::vector<std::uint8_t> payload(bytes);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      payload[i] = static_cast<std::uint8_t>(i ^ id ^ version);
+    }
+    eeprom_.write(boot_.staging_payload_offset(), payload);
+    return payload;
+  }
+
+  storage::Eeprom eeprom_;
+  boot::BootManager boot_;
+};
+
+TEST_F(BootTest, FreshFlashHasNoImages) {
+  EXPECT_FALSE(boot_.golden_header().has_value());
+  EXPECT_FALSE(boot_.staged_header().has_value());
+  EXPECT_FALSE(boot_.staging_valid());
+  EXPECT_FALSE(boot_.install());  // nothing to install
+  EXPECT_TRUE(boot_.golden_payload().empty());
+}
+
+TEST_F(BootTest, CommitValidateInstall) {
+  const auto payload = stage_image(5, 2, 5000);
+  ASSERT_TRUE(boot_.commit_staging(5, 2, 5000));
+  ASSERT_TRUE(boot_.staging_valid());
+  const auto staged = boot_.staged_header();
+  ASSERT_TRUE(staged.has_value());
+  EXPECT_EQ(staged->program_id, 5);
+  EXPECT_EQ(staged->version, 2);
+  EXPECT_EQ(staged->length, 5000u);
+
+  ASSERT_TRUE(boot_.install());
+  EXPECT_EQ(boot_.installs(), 1u);
+  EXPECT_TRUE(boot_.golden_valid());
+  EXPECT_EQ(boot_.golden_payload(), payload);
+  // Staging is consumed by the install.
+  EXPECT_FALSE(boot_.staged_header().has_value());
+}
+
+TEST_F(BootTest, CorruptStagingIsRejected) {
+  stage_image(5, 2, 5000);
+  ASSERT_TRUE(boot_.commit_staging(5, 2, 5000));
+  // Flip one staged payload byte after the header was sealed.
+  eeprom_.write(boot_.staging_payload_offset() + 1234, {0xFF});
+  EXPECT_FALSE(boot_.staging_valid());
+  EXPECT_FALSE(boot_.install());
+  EXPECT_FALSE(boot_.golden_header().has_value());  // golden untouched
+}
+
+TEST_F(BootTest, InstallKeepsOldGoldenOnCorruptUpdate) {
+  const auto v1 = stage_image(5, 1, 3000);
+  ASSERT_TRUE(boot_.commit_staging(5, 1, 3000));
+  ASSERT_TRUE(boot_.install());
+
+  stage_image(5, 2, 3000);
+  ASSERT_TRUE(boot_.commit_staging(5, 2, 3000));
+  eeprom_.write(boot_.staging_payload_offset(), {0x00});  // corrupt v2
+  EXPECT_FALSE(boot_.install());
+  // The mote still boots v1.
+  ASSERT_TRUE(boot_.golden_valid());
+  EXPECT_EQ(boot_.golden_header()->version, 1);
+  EXPECT_EQ(boot_.golden_payload(), v1);
+}
+
+TEST_F(BootTest, SequentialUpgrades) {
+  for (std::uint16_t version = 1; version <= 3; ++version) {
+    const auto payload = stage_image(9, version, 2000 + version);
+    ASSERT_TRUE(boot_.commit_staging(9, version, 2000u + version));
+    ASSERT_TRUE(boot_.install());
+    EXPECT_EQ(boot_.golden_header()->version, version);
+    EXPECT_EQ(boot_.golden_payload(), payload);
+  }
+  EXPECT_EQ(boot_.installs(), 3u);
+}
+
+TEST_F(BootTest, OversizedImagesRefused) {
+  EXPECT_FALSE(boot_.commit_staging(5, 1,
+                                    static_cast<std::uint32_t>(
+                                        boot_.max_image_bytes() + 1)));
+  EXPECT_TRUE(boot_.commit_staging(
+      5, 1, static_cast<std::uint32_t>(boot_.max_image_bytes())));
+}
+
+TEST_F(BootTest, EraseStagingDiscardsCommit) {
+  stage_image(5, 1, 100);
+  ASSERT_TRUE(boot_.commit_staging(5, 1, 100));
+  boot_.erase_staging();
+  EXPECT_FALSE(boot_.staged_header().has_value());
+  EXPECT_FALSE(boot_.install());
+}
+
+// ---------------------------------------------------------------------------
+// Full OTA pipeline: MNP disseminates into the staging slot, the boot
+// manager validates and installs on the external start signal.
+// ---------------------------------------------------------------------------
+
+TEST(BootOta, DisseminationIntoStagingSlotInstallsEverywhere) {
+  sim::Simulator sim(77);
+  node::Network network(
+      sim, net::Topology::grid(3, 3, 10.0), [&](const net::Topology& t) {
+        net::EmpiricalLinkModel::Params lp;
+        lp.range_ft = 25.0;
+        return std::make_unique<net::EmpiricalLinkModel>(t, lp,
+                                                         sim.fork_rng(0x11A7));
+      });
+  core::MnpConfig cfg;
+  constexpr std::size_t kSlot = 64 * 1024;
+  cfg.eeprom_base_offset = kSlot + boot::ImageHeader::kBytes;  // staging slot
+  auto image = std::make_shared<const core::ProgramImage>(
+      3, 2 * cfg.packets_per_segment * cfg.payload_bytes);
+  for (net::NodeId id = 0; id < network.size(); ++id) {
+    network.node(id).set_application(
+        id == 0 ? std::make_unique<core::MnpNode>(cfg, image)
+                : std::make_unique<core::MnpNode>(cfg));
+  }
+  network.boot_all();
+  ASSERT_TRUE(sim.run_until_condition(sim::hours(2), [&] {
+    return network.stats().all_completed();
+  }));
+
+  // External start signal: every receiver commits + installs.
+  for (net::NodeId id = 1; id < network.size(); ++id) {
+    boot::BootManager boot(network.node(id).eeprom(), kSlot);
+    ASSERT_TRUE(boot.commit_staging(
+        image->id(), 1, static_cast<std::uint32_t>(image->total_bytes())))
+        << "node " << id;
+    ASSERT_TRUE(boot.staging_valid()) << "node " << id;
+    ASSERT_TRUE(boot.install()) << "node " << id;
+    EXPECT_TRUE(image->matches(boot.golden_payload())) << "node " << id;
+  }
+}
+
+}  // namespace
+}  // namespace mnp

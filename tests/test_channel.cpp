@@ -1,0 +1,246 @@
+// Channel semantics: delivery, half-duplex, collisions (including hidden
+// terminals), carrier sense, and the concurrent-bulk-sender monitor.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/link_model.hpp"
+#include "net/radio.hpp"
+#include "sim/simulator.hpp"
+
+namespace mnp::net {
+namespace {
+
+// Line of nodes 10 ft apart; disk range 15 ft => only adjacent nodes hear
+// each other (interference_factor widens that in specific tests).
+class ChannelTest : public ::testing::Test {
+ protected:
+  void build(std::size_t n, double range, double interference = 1.0,
+             double spacing = 10.0) {
+    topo_ = std::make_unique<Topology>();
+    for (std::size_t i = 0; i < n; ++i) {
+      topo_->add({static_cast<double>(i) * spacing, 0.0});
+    }
+    links_ = std::make_unique<DiskLinkModel>(*topo_, range, interference);
+    channel_ = std::make_unique<Channel>(sim_, *topo_, *links_);
+    received_.assign(n, {});
+    for (std::size_t i = 0; i < n; ++i) {
+      meters_.push_back(std::make_unique<energy::EnergyMeter>());
+      radios_.push_back(std::make_unique<Radio>(
+          static_cast<NodeId>(i), sim_.scheduler(), *channel_, *meters_[i]));
+      channel_->register_radio(*radios_[i]);
+      radios_[i]->set_receive_handler([this, i](const Packet& pkt) {
+        received_[i].push_back(pkt);
+      });
+      radios_[i]->turn_on();
+    }
+  }
+
+  static Packet data_packet() {
+    DataMsg d;
+    d.payload.assign(22, 0x5A);
+    Packet pkt;
+    pkt.payload = std::move(d);
+    return pkt;
+  }
+
+  static Packet adv_packet() {
+    Packet pkt;
+    pkt.payload = AdvertisementMsg{};
+    return pkt;
+  }
+
+  sim::Simulator sim_{1};
+  std::unique_ptr<Topology> topo_;
+  std::unique_ptr<DiskLinkModel> links_;
+  std::unique_ptr<Channel> channel_;
+  std::vector<std::unique_ptr<energy::EnergyMeter>> meters_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::vector<std::vector<Packet>> received_;
+};
+
+TEST_F(ChannelTest, DeliversToNeighborsOnly) {
+  build(4, 15.0);
+  Packet pkt = adv_packet();
+  pkt.src = 1;
+  EXPECT_TRUE(radios_[1]->start_transmission(pkt));
+  sim_.run_until(sim::sec(1));
+  EXPECT_EQ(received_[0].size(), 1u);
+  EXPECT_EQ(received_[2].size(), 1u);
+  EXPECT_TRUE(received_[3].empty());  // 20 ft away
+  EXPECT_TRUE(received_[1].empty());  // sender does not hear itself
+}
+
+TEST_F(ChannelTest, AirtimeMatchesBitrate) {
+  build(2, 15.0);
+  const Packet pkt = adv_packet();
+  // 19.2 kbps: airtime_us = bytes*8/19200*1e6.
+  const auto expected = static_cast<sim::Time>(
+      static_cast<double>(pkt.wire_bytes()) * 8.0 / 19200.0 * 1e6);
+  EXPECT_EQ(channel_->airtime(pkt), expected);
+}
+
+TEST_F(ChannelTest, OffRadioReceivesNothing) {
+  build(2, 15.0);
+  radios_[1]->turn_off();
+  radios_[0]->start_transmission(adv_packet());
+  sim_.run_until(sim::sec(1));
+  EXPECT_TRUE(received_[1].empty());
+}
+
+TEST_F(ChannelTest, TurningOnMidPacketMissesIt) {
+  build(2, 15.0);
+  radios_[1]->turn_off();
+  radios_[0]->start_transmission(adv_packet());
+  // Turn on halfway through the preamble: decode must fail.
+  sim_.scheduler().schedule_after(channel_->airtime(adv_packet()) / 2,
+                                  [&] { radios_[1]->turn_on(); });
+  sim_.run_until(sim::sec(1));
+  EXPECT_TRUE(received_[1].empty());
+}
+
+TEST_F(ChannelTest, TurningOffMidPacketLosesIt) {
+  build(2, 15.0);
+  radios_[0]->start_transmission(adv_packet());
+  sim_.scheduler().schedule_after(channel_->airtime(adv_packet()) / 2,
+                                  [&] { radios_[1]->turn_off(); });
+  sim_.run_until(sim::sec(1));
+  EXPECT_TRUE(received_[1].empty());
+}
+
+TEST_F(ChannelTest, OverlappingTransmissionsCollideAtCommonListener) {
+  build(3, 15.0);
+  // 0 and 2 both reach 1; they cannot hear each other (20 ft apart) —
+  // the canonical hidden-terminal scenario.
+  radios_[0]->start_transmission(adv_packet());
+  radios_[2]->start_transmission(adv_packet());
+  sim_.run_until(sim::sec(1));
+  EXPECT_TRUE(received_[1].empty());
+  EXPECT_GE(channel_->collisions(), 1u);
+}
+
+TEST_F(ChannelTest, StaggeredTransmissionsBothArrive) {
+  build(3, 15.0);
+  radios_[0]->start_transmission(adv_packet());
+  const sim::Time airtime = channel_->airtime(adv_packet());
+  sim_.scheduler().schedule_after(airtime + sim::msec(1), [&] {
+    radios_[2]->start_transmission(adv_packet());
+  });
+  sim_.run_until(sim::sec(1));
+  EXPECT_EQ(received_[1].size(), 2u);
+  EXPECT_EQ(channel_->collisions(), 0u);
+}
+
+TEST_F(ChannelTest, PartialOverlapStillCorruptsBoth) {
+  build(3, 15.0);
+  radios_[0]->start_transmission(adv_packet());
+  sim_.scheduler().schedule_after(channel_->airtime(adv_packet()) - 100, [&] {
+    radios_[2]->start_transmission(adv_packet());
+  });
+  sim_.run_until(sim::sec(1));
+  EXPECT_TRUE(received_[1].empty());
+}
+
+TEST_F(ChannelTest, InterferenceWithoutDecodabilityStillCorrupts) {
+  // Node 2 is inside node 0's interference range but outside its decode
+  // range; 0's energy must still destroy 1->2 packets at node 2.
+  build(3, 15.0, /*interference=*/1.8);  // decode 15 ft, interfere 27 ft
+  radios_[0]->start_transmission(adv_packet());  // 0 is 20 ft from 2
+  radios_[1]->start_transmission(data_packet()); // 1 is 10 ft from 2
+  sim_.run_until(sim::sec(1));
+  EXPECT_TRUE(received_[2].empty());
+}
+
+TEST_F(ChannelTest, HalfDuplexSenderMissesIncomingPackets) {
+  build(2, 15.0);
+  radios_[0]->start_transmission(adv_packet());
+  radios_[1]->start_transmission(adv_packet());
+  sim_.run_until(sim::sec(1));
+  EXPECT_TRUE(received_[0].empty());
+  EXPECT_TRUE(received_[1].empty());
+}
+
+TEST_F(ChannelTest, CarrierSenseSeesNeighborTransmission) {
+  build(3, 15.0);
+  EXPECT_FALSE(channel_->carrier_busy(1));
+  radios_[0]->start_transmission(adv_packet());
+  EXPECT_TRUE(channel_->carrier_busy(1));   // neighbor
+  EXPECT_TRUE(channel_->carrier_busy(0));   // own transmission
+  EXPECT_FALSE(channel_->carrier_busy(2));  // out of range
+  sim_.run_until(sim::sec(1));
+  EXPECT_FALSE(channel_->carrier_busy(1));
+}
+
+TEST_F(ChannelTest, BulkOverlapMonitorCountsConcurrentDataSenders) {
+  build(3, 15.0);
+  radios_[0]->start_transmission(data_packet());
+  radios_[2]->start_transmission(data_packet());  // shares victim node 1
+  sim_.run_until(sim::sec(1));
+  EXPECT_GE(channel_->concurrent_bulk_overlaps(), 1u);
+}
+
+TEST_F(ChannelTest, BulkOverlapIgnoresControlTraffic) {
+  build(3, 15.0);
+  radios_[0]->start_transmission(adv_packet());
+  radios_[2]->start_transmission(adv_packet());
+  sim_.run_until(sim::sec(1));
+  EXPECT_EQ(channel_->concurrent_bulk_overlaps(), 0u);
+}
+
+TEST_F(ChannelTest, DistantBulkSendersDoNotCount) {
+  build(6, 15.0);
+  radios_[0]->start_transmission(data_packet());
+  radios_[5]->start_transmission(data_packet());  // 50 ft away, no shared victim
+  sim_.run_until(sim::sec(1));
+  EXPECT_EQ(channel_->concurrent_bulk_overlaps(), 0u);
+}
+
+TEST_F(ChannelTest, ReceptionChargesTheMeter) {
+  build(2, 15.0);
+  radios_[0]->start_transmission(adv_packet());
+  sim_.run_until(sim::sec(1));
+  EXPECT_EQ(meters_[1]->rx_packets(), 1u);
+  EXPECT_EQ(meters_[0]->tx_packets(), 1u);
+}
+
+TEST_F(ChannelTest, ObserverSeesTrafficAndCollisions) {
+  struct Observer : ChannelObserver {
+    int transmits = 0, delivers = 0, collisions = 0;
+    void on_transmit(NodeId, const Packet&, sim::Time) override { ++transmits; }
+    void on_deliver(NodeId, NodeId, const Packet&, sim::Time) override { ++delivers; }
+    void on_collision(NodeId, sim::Time) override { ++collisions; }
+  } observer;
+  build(3, 15.0);
+  channel_->set_observer(&observer);
+  radios_[0]->start_transmission(adv_packet());
+  radios_[2]->start_transmission(adv_packet());
+  sim_.run_until(sim::sec(1));
+  EXPECT_EQ(observer.transmits, 2);
+  EXPECT_EQ(observer.delivers, 0);
+  EXPECT_GE(observer.collisions, 1);
+}
+
+TEST_F(ChannelTest, PendingOffDeferredUntilTransmissionEnds) {
+  build(2, 15.0);
+  radios_[0]->start_transmission(adv_packet());
+  radios_[0]->turn_off();  // mid-transmission: deferred
+  EXPECT_EQ(radios_[0]->state(), Radio::State::kTransmitting);
+  sim_.run_until(sim::sec(1));
+  EXPECT_EQ(radios_[0]->state(), Radio::State::kOff);
+  // The packet still went out intact.
+  EXPECT_EQ(received_[1].size(), 1u);
+}
+
+TEST_F(ChannelTest, CannotTransmitWhileOffOrBusy) {
+  build(2, 15.0);
+  radios_[0]->turn_off();
+  EXPECT_FALSE(radios_[0]->start_transmission(adv_packet()));
+  radios_[0]->turn_on();
+  EXPECT_TRUE(radios_[0]->start_transmission(adv_packet()));
+  EXPECT_FALSE(radios_[0]->start_transmission(adv_packet()));  // busy
+}
+
+}  // namespace
+}  // namespace mnp::net

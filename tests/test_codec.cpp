@@ -1,0 +1,226 @@
+// Wire codec tests: every packet type round-trips byte-exactly, corrupt
+// frames are rejected, and the airtime model's wire sizes stay honest
+// relative to the real encoding.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/codec.hpp"
+
+namespace mnp::net {
+namespace {
+
+template <typename T>
+Packet make(T msg, NodeId src = 7) {
+  Packet pkt;
+  pkt.src = src;
+  pkt.payload = std::move(msg);
+  return pkt;
+}
+
+template <typename T>
+const T& round_trip(const Packet& pkt) {
+  static Packet decoded;
+  const auto frame = encode(pkt);
+  auto result = decode(frame);
+  EXPECT_TRUE(result.has_value());
+  decoded = *result;
+  EXPECT_EQ(decoded.src, pkt.src);
+  EXPECT_EQ(decoded.type(), pkt.type());
+  const T* typed = decoded.as<T>();
+  EXPECT_NE(typed, nullptr);
+  return *typed;
+}
+
+TEST(Codec, Advertisement) {
+  AdvertisementMsg m;
+  m.program_id = 5;
+  m.program_bytes = 123456;
+  m.program_segments = 9;
+  m.seg_id = 3;
+  m.req_ctr = 42;
+  const auto& d = round_trip<AdvertisementMsg>(make(m));
+  EXPECT_EQ(d.program_id, 5);
+  EXPECT_EQ(d.program_bytes, 123456u);
+  EXPECT_EQ(d.program_segments, 9);
+  EXPECT_EQ(d.seg_id, 3);
+  EXPECT_EQ(d.req_ctr, 42);
+}
+
+TEST(Codec, DownloadRequestWithBitmap) {
+  DownloadRequestMsg m;
+  m.dest = 11;
+  m.program_id = 2;
+  m.seg_id = 4;
+  m.req_ctr_echo = 3;
+  m.window_base = 256;
+  m.request_all = false;
+  m.missing = util::Bitmap(128);
+  m.missing.set(0);
+  m.missing.set(77);
+  m.missing.set(127);
+  const auto& d = round_trip<DownloadRequestMsg>(make(m));
+  EXPECT_EQ(d.dest, 11);
+  EXPECT_EQ(d.window_base, 256);
+  EXPECT_FALSE(d.request_all);
+  EXPECT_EQ(d.missing, m.missing);
+}
+
+TEST(Codec, DownloadRequestAllFlag) {
+  DownloadRequestMsg m;
+  m.request_all = true;
+  const auto& d = round_trip<DownloadRequestMsg>(make(m));
+  EXPECT_TRUE(d.request_all);
+}
+
+TEST(Codec, StartAndEndDownload) {
+  StartDownloadMsg s;
+  s.program_id = 1;
+  s.seg_id = 2;
+  s.packet_count = 200;
+  EXPECT_EQ(round_trip<StartDownloadMsg>(make(s)).packet_count, 200);
+  EndDownloadMsg e;
+  e.seg_id = 2;
+  EXPECT_EQ(round_trip<EndDownloadMsg>(make(e)).seg_id, 2);
+}
+
+TEST(Codec, DataWithPayload) {
+  DataMsg m;
+  m.program_id = 1;
+  m.seg_id = 2;
+  m.pkt_id = 300;
+  for (int i = 0; i < 22; ++i) m.payload.push_back(static_cast<std::uint8_t>(i));
+  const auto& d = round_trip<DataMsg>(make(m));
+  EXPECT_EQ(d.pkt_id, 300);
+  EXPECT_EQ(d.payload, m.payload);
+}
+
+TEST(Codec, QueryAndRepair) {
+  QueryMsg q;
+  q.seg_id = 7;
+  EXPECT_EQ(round_trip<QueryMsg>(make(q)).seg_id, 7);
+  RepairRequestMsg rr;
+  rr.dest = 4;
+  rr.seg_id = 7;
+  rr.pkt_id = 513;
+  const auto& d = round_trip<RepairRequestMsg>(make(rr));
+  EXPECT_EQ(d.dest, 4);
+  EXPECT_EQ(d.pkt_id, 513);
+}
+
+TEST(Codec, DelugeMessages) {
+  DelugeSummaryMsg s;
+  s.version = 2;
+  s.total_pages = 8;
+  s.complete_pages = 5;
+  s.program_bytes = 9000;
+  EXPECT_EQ(round_trip<DelugeSummaryMsg>(make(s)).complete_pages, 5);
+
+  DelugeRequestMsg r;
+  r.dest = 3;
+  r.page = 6;
+  r.missing = util::Bitmap(48);
+  r.missing.set(47);
+  const auto& dr = round_trip<DelugeRequestMsg>(make(r));
+  EXPECT_EQ(dr.page, 6);
+  EXPECT_TRUE(dr.missing.test(47));
+
+  DelugeDataMsg d;
+  d.version = 2;
+  d.page = 6;
+  d.pkt_id = 13;
+  d.payload = {1, 2, 3};
+  EXPECT_EQ(round_trip<DelugeDataMsg>(make(d)).payload, d.payload);
+}
+
+TEST(Codec, MoapMessages) {
+  MoapPublishMsg p;
+  p.version = 3;
+  p.total_packets = 444;
+  p.program_bytes = 9768;
+  EXPECT_EQ(round_trip<MoapPublishMsg>(make(p)).total_packets, 444);
+  MoapSubscribeMsg s;
+  s.dest = 2;
+  EXPECT_EQ(round_trip<MoapSubscribeMsg>(make(s)).dest, 2);
+  MoapDataMsg d;
+  d.version = 3;
+  d.pkt_id = 443;
+  d.payload = {9, 8, 7};
+  EXPECT_EQ(round_trip<MoapDataMsg>(make(d)).pkt_id, 443);
+  MoapNackMsg n;
+  n.dest = 2;
+  n.pkt_id = 100;
+  EXPECT_EQ(round_trip<MoapNackMsg>(make(n)).pkt_id, 100);
+}
+
+TEST(Codec, XnpMessages) {
+  XnpDataMsg d;
+  d.pkt_id = 9;
+  d.total_packets = 64;
+  d.payload = {5};
+  EXPECT_EQ(round_trip<XnpDataMsg>(make(d)).total_packets, 64);
+  XnpQueryMsg q;
+  q.total_packets = 64;
+  EXPECT_EQ(round_trip<XnpQueryMsg>(make(q)).total_packets, 64);
+  XnpFixRequestMsg f;
+  f.pkt_id = 31;
+  EXPECT_EQ(round_trip<XnpFixRequestMsg>(make(f)).pkt_id, 31);
+}
+
+TEST(Codec, CorruptFramesRejected) {
+  auto frame = encode(make(AdvertisementMsg{}));
+  // Single-byte corruption anywhere must fail the CRC.
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    auto bad = frame;
+    bad[i] ^= 0x40;
+    EXPECT_FALSE(decode(bad).has_value()) << "survived flip at " << i;
+  }
+  // Truncation.
+  auto cut = frame;
+  cut.pop_back();
+  EXPECT_FALSE(decode(cut).has_value());
+  EXPECT_FALSE(decode({}).has_value());
+  EXPECT_FALSE(decode({1, 2, 3}).has_value());
+}
+
+TEST(Codec, UnknownTypeRejected) {
+  auto frame = encode(make(AdvertisementMsg{}));
+  frame[4] = 0xEE;  // type byte
+  // Fix up the CRC so only the type check can reject it.
+  const std::uint16_t crc = crc16(frame.data(), frame.size() - 2);
+  frame[frame.size() - 2] = static_cast<std::uint8_t>(crc & 0xFF);
+  frame[frame.size() - 1] = static_cast<std::uint8_t>(crc >> 8);
+  EXPECT_FALSE(decode(frame).has_value());
+}
+
+TEST(Codec, Crc16KnownVector) {
+  // CRC-16-CCITT (init 0xFFFF) of "123456789" is 0x29B1.
+  const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16(digits, 9), 0x29B1);
+}
+
+TEST(Codec, WireSizeModelMatchesEncoding) {
+  // wire_bytes() = preamble/sync (10, physical only) + frame bytes. The
+  // codec adds small explicit length/size fields the abstract model folds
+  // into its header estimate, so the encoded frame must agree with the
+  // model within a couple of bytes — enough to keep airtime honest.
+  const Packet samples[] = {
+      make(AdvertisementMsg{}),  make(DownloadRequestMsg{}),
+      make(StartDownloadMsg{}),  make(EndDownloadMsg{}),
+      make(QueryMsg{}),          make(RepairRequestMsg{}),
+      make(DelugeSummaryMsg{}),  make(DelugeRequestMsg{}),
+      make(MoapPublishMsg{}),    make(MoapSubscribeMsg{}),
+      make(MoapNackMsg{}),       make(XnpQueryMsg{}),
+      make(XnpFixRequestMsg{}),
+  };
+  for (const Packet& pkt : samples) {
+    const auto frame = encode(pkt);
+    const std::size_t modelled = pkt.wire_bytes() - kPhysicalOnlyBytes;
+    EXPECT_NEAR(static_cast<double>(frame.size()),
+                static_cast<double>(modelled), 2.0)
+        << to_string(pkt.type());
+  }
+}
+
+}  // namespace
+}  // namespace mnp::net

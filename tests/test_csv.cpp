@@ -1,0 +1,93 @@
+// Tests for the CSV exporters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/csv.hpp"
+#include "harness/experiment.hpp"
+
+namespace mnp::harness {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+std::size_t commas(const std::string& s) {
+  std::size_t n = 0;
+  for (char c : s) {
+    if (c == ',') ++n;
+  }
+  return n;
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  static RunResult run() {
+    ExperimentConfig cfg;
+    cfg.rows = 3;
+    cfg.cols = 3;
+    cfg.range_ft = 25.0;
+    cfg.set_program_segments(1);
+    return run_experiment(cfg);
+  }
+};
+
+TEST_F(CsvTest, NodesCsvHasOneRowPerNode) {
+  const auto r = run();
+  std::ostringstream os;
+  write_nodes_csv(os, r);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 1 + r.nodes.size());
+  EXPECT_EQ(lines[0].substr(0, 5), "node,");
+  const std::size_t header_commas = commas(lines[0]);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(commas(lines[i]), header_commas) << "row " << i;
+  }
+  // Grid coordinates: node 4 of a 3x3 is (1, 1).
+  EXPECT_EQ(lines[5].substr(0, 6), "4,1,1,");
+}
+
+TEST_F(CsvTest, TimelineCsvMatchesTimelineMap) {
+  const auto r = run();
+  std::ostringstream os;
+  write_timeline_csv(os, r);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 1 + r.timeline.size());
+  EXPECT_EQ(lines[0], "minute,advertisements,requests,data,other");
+}
+
+TEST_F(CsvTest, SummaryCsvIsOneRow) {
+  const auto r = run();
+  std::ostringstream os;
+  write_summary_csv(os, "unit", r);
+  const auto lines = lines_of(os.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1].substr(0, 5), "unit,");
+  EXPECT_EQ(commas(lines[0]), commas(lines[1]));
+}
+
+TEST_F(CsvTest, IncompleteNodesGetSentinelCompletion) {
+  ExperimentConfig cfg;
+  cfg.protocol = Protocol::kXnp;
+  cfg.rows = 1;
+  cfg.cols = 6;
+  cfg.range_ft = 15.0;
+  cfg.empirical_links = false;
+  cfg.program_bytes = 32 * 22;
+  cfg.max_sim_time = sim::minutes(20);
+  const auto r = run_experiment(cfg);
+  ASSERT_FALSE(r.all_completed);
+  std::ostringstream os;
+  write_nodes_csv(os, r);
+  EXPECT_NE(os.str().find(",-1,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mnp::harness

@@ -1,0 +1,87 @@
+// Deluge baseline tests: correctness plus the contrasts with MNP the paper
+// leans on (radio always on, no sender election).
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace mnp {
+namespace {
+
+harness::ExperimentConfig deluge_config() {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kDeluge;
+  cfg.rows = 4;
+  cfg.cols = 4;
+  cfg.spacing_ft = 10.0;
+  cfg.range_ft = 25.0;
+  cfg.program_bytes = 2 * 48 * 22;  // 2 Deluge pages
+  cfg.max_sim_time = sim::hours(2);
+  return cfg;
+}
+
+TEST(Deluge, DisseminatesToEveryNode) {
+  const auto r = harness::run_experiment(deluge_config());
+  EXPECT_TRUE(r.all_completed) << r.completed_count << "/" << r.nodes.size();
+  EXPECT_EQ(r.verified_count(), r.nodes.size());
+}
+
+TEST(Deluge, MultihopWithTightRange) {
+  auto cfg = deluge_config();
+  cfg.rows = 2;
+  cfg.cols = 8;
+  cfg.range_ft = 15.0;
+  cfg.empirical_links = false;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_TRUE(r.all_completed) << r.completed_count << "/" << r.nodes.size();
+}
+
+TEST(Deluge, RadioIsAlwaysOn) {
+  // The defining energy difference from MNP: a Deluge node's active radio
+  // time equals elapsed time (no sleeping, ever).
+  const auto r = harness::run_experiment(deluge_config());
+  ASSERT_TRUE(r.all_completed);
+  for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+    // Nodes boot within 500 ms of t=0; after that the radio never stops.
+    EXPECT_GE(r.nodes[i].active_radio, r.measured_at - sim::msec(600))
+        << "node " << i;
+  }
+}
+
+TEST(Deluge, PagesArriveInOrder) {
+  auto cfg = deluge_config();
+  cfg.seed = 5;
+  const auto r = harness::run_experiment(cfg);
+  ASSERT_TRUE(r.all_completed);
+  // The harness records per-page completion through the stats collector;
+  // verify indirectly: everyone finished and the images verify, which with
+  // sequential-page reception implies ordering held. (Direct per-page
+  // ordering is asserted in the MNP pipeline tests.)
+  EXPECT_EQ(r.verified_count(), r.nodes.size());
+}
+
+TEST(Deluge, SeedsSweepStillComplete) {
+  for (std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    auto cfg = deluge_config();
+    cfg.seed = seed;
+    const auto r = harness::run_experiment(cfg);
+    EXPECT_TRUE(r.all_completed) << "seed " << seed;
+  }
+}
+
+TEST(Deluge, TrickleSuppressionBoundsQuiescentTraffic) {
+  // Once everyone is up to date, summaries back off toward tau_high; the
+  // last simulated minutes must be sparse in advertisements.
+  auto cfg = deluge_config();
+  cfg.rows = 3;
+  cfg.cols = 3;
+  const auto r = harness::run_experiment(cfg);
+  ASSERT_TRUE(r.all_completed);
+  std::uint64_t total_adv = 0;
+  for (const auto& n : r.nodes) total_adv += n.tx_adv;
+  // 9 nodes; generous bound: fewer than 40 summaries per node on average
+  // over the whole (short) run.
+  EXPECT_LT(total_adv, 9u * 40u);
+}
+
+}  // namespace
+}  // namespace mnp

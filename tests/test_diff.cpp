@@ -1,0 +1,149 @@
+// Tests for the difference-based update module.
+#include <gtest/gtest.h>
+
+#include "diff/delta.hpp"
+#include "sim/rng.hpp"
+
+namespace mnp::diff {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return out;
+}
+
+TEST(Delta, IdenticalImagesCollapseToOneCopy) {
+  const auto image = random_bytes(4096, 1);
+  const Delta delta = Delta::compute(image, image);
+  EXPECT_EQ(delta.apply(image), image);
+  ASSERT_EQ(delta.ops().size(), 1u);
+  EXPECT_TRUE(std::holds_alternative<CopyOp>(delta.ops()[0]));
+  EXPECT_EQ(delta.copied_bytes(), 4096u);
+  EXPECT_EQ(delta.literal_bytes(), 0u);
+  EXPECT_LT(delta.serialized_size(), 32u);
+}
+
+TEST(Delta, UnrelatedImagesAreAllLiteral) {
+  const auto old_image = random_bytes(1024, 2);
+  const auto new_image = random_bytes(1024, 3);
+  const Delta delta = Delta::compute(old_image, new_image);
+  EXPECT_EQ(delta.apply(old_image), new_image);
+  EXPECT_EQ(delta.copied_bytes(), 0u);
+  EXPECT_EQ(delta.literal_bytes(), 1024u);
+}
+
+TEST(Delta, SmallPatchProducesSmallDelta) {
+  auto old_image = random_bytes(8192, 4);
+  auto new_image = old_image;
+  for (std::size_t i = 1000; i < 1050; ++i) new_image[i] ^= 0x5A;  // 50-byte fix
+  const Delta delta = Delta::compute(old_image, new_image);
+  EXPECT_EQ(delta.apply(old_image), new_image);
+  // The whole update travels in well under 5% of the image size.
+  EXPECT_LT(delta.serialized_size(), new_image.size() / 20);
+}
+
+TEST(Delta, InsertionShiftsAreStillFound) {
+  auto old_image = random_bytes(4096, 5);
+  std::vector<std::uint8_t> new_image(old_image.begin(), old_image.begin() + 2000);
+  const auto inserted = random_bytes(300, 6);
+  new_image.insert(new_image.end(), inserted.begin(), inserted.end());
+  new_image.insert(new_image.end(), old_image.begin() + 2000, old_image.end());
+  const Delta delta = Delta::compute(old_image, new_image);
+  EXPECT_EQ(delta.apply(old_image), new_image);
+  // Both halves around the insertion are reused.
+  EXPECT_GE(delta.copied_bytes(), 3900u);
+  EXPECT_LE(delta.literal_bytes(), 400u);
+}
+
+TEST(Delta, EmptyImages) {
+  const std::vector<std::uint8_t> empty;
+  const auto some = random_bytes(100, 7);
+  EXPECT_EQ(Delta::compute(empty, empty).apply(empty), empty);
+  EXPECT_EQ(Delta::compute(empty, some).apply(empty), some);
+  EXPECT_EQ(Delta::compute(some, empty).apply(some), empty);
+}
+
+TEST(Delta, SerializationRoundTrips) {
+  const auto old_image = random_bytes(4096, 8);
+  auto new_image = old_image;
+  for (std::size_t i = 0; i < 128; ++i) new_image[i * 17 % 4096] ^= 1;
+  const Delta delta = Delta::compute(old_image, new_image);
+  const auto wire = delta.serialize();
+  EXPECT_EQ(wire.size(), delta.serialized_size());
+  const auto parsed = Delta::parse(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->apply(old_image), new_image);
+}
+
+TEST(Delta, ParseRejectsCorruptInput) {
+  const auto old_image = random_bytes(256, 9);
+  const Delta delta = Delta::compute(old_image, old_image);
+  auto wire = delta.serialize();
+  // Truncated.
+  auto truncated = wire;
+  truncated.pop_back();
+  EXPECT_FALSE(Delta::parse(truncated).has_value());
+  // Bad op tag.
+  auto bad_tag = wire;
+  bad_tag[4] = 'X';
+  EXPECT_FALSE(Delta::parse(bad_tag).has_value());
+  // Trailing garbage.
+  auto trailing = wire;
+  trailing.push_back(0);
+  EXPECT_FALSE(Delta::parse(trailing).has_value());
+  // Too short for a header.
+  EXPECT_FALSE(Delta::parse({1, 2}).has_value());
+}
+
+TEST(Delta, ApplyRejectsOutOfRangeCopies) {
+  Delta delta;
+  delta.append_copy(/*old_offset=*/100, /*length=*/50);
+  const auto small = random_bytes(120, 10);
+  EXPECT_TRUE(delta.apply(small).empty());  // 100+50 > 120
+}
+
+TEST(Delta, AdjacentOpsCoalesce) {
+  Delta delta;
+  delta.append_copy(0, 10);
+  delta.append_copy(10, 20);  // adjacent: merges
+  delta.append_copy(50, 5);   // gap: new op
+  const std::uint8_t lit[] = {1, 2, 3};
+  delta.append_literal(lit, 3);
+  delta.append_literal(lit, 3);  // merges into one literal
+  ASSERT_EQ(delta.ops().size(), 3u);
+  EXPECT_EQ(std::get<CopyOp>(delta.ops()[0]).length, 30u);
+  EXPECT_EQ(std::get<LiteralOp>(delta.ops()[2]).bytes.size(), 6u);
+}
+
+class DeltaPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int, std::size_t>> {};
+
+TEST_P(DeltaPropertyTest, RoundTripUnderRandomEdits) {
+  const auto [size, edits, block] = GetParam();
+  auto old_image = random_bytes(size, 11);
+  auto new_image = old_image;
+  sim::Rng rng(12 + edits);
+  for (int e = 0; e < edits; ++e) {
+    const auto at = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+    new_image[at] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  const Delta delta = Delta::compute(old_image, new_image, block);
+  EXPECT_EQ(delta.apply(old_image), new_image);
+  const auto parsed = Delta::parse(delta.serialize());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->apply(old_image), new_image);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DeltaPropertyTest,
+    ::testing::Values(std::make_tuple(512, 0, 16), std::make_tuple(512, 5, 16),
+                      std::make_tuple(4096, 40, 32),
+                      std::make_tuple(4096, 400, 32),
+                      std::make_tuple(10000, 100, 64),
+                      std::make_tuple(33, 3, 32)));
+
+}  // namespace
+}  // namespace mnp::diff

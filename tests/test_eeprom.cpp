@@ -1,0 +1,80 @@
+// Unit tests for the EEPROM model.
+#include <gtest/gtest.h>
+
+#include "storage/eeprom.hpp"
+
+namespace mnp::storage {
+namespace {
+
+TEST(Eeprom, WriteThenReadRoundTrips) {
+  Eeprom e(1024);
+  const std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  EXPECT_TRUE(e.write(100, data));
+  EXPECT_EQ(e.read(100, 5), data);
+}
+
+TEST(Eeprom, FreshBytesReadAsZero) {
+  Eeprom e(64);
+  const auto bytes = e.read(0, 64);
+  ASSERT_EQ(bytes.size(), 64u);
+  for (auto b : bytes) EXPECT_EQ(b, 0);
+}
+
+TEST(Eeprom, RangeChecksRejectOutOfBounds) {
+  Eeprom e(32);
+  EXPECT_FALSE(e.write(30, {1, 2, 3}));         // runs past the end
+  EXPECT_FALSE(e.write(33, {1}));               // offset past the end
+  EXPECT_TRUE(e.write(29, {1, 2, 3}));          // exactly fits
+  EXPECT_TRUE(e.read(33, 1).empty());
+  EXPECT_TRUE(e.read(0, 33).empty());
+  EXPECT_EQ(e.read(0, 32).size(), 32u);
+}
+
+TEST(Eeprom, CountsOperations) {
+  Eeprom e(256);
+  e.write(0, {1, 2, 3});
+  e.write(16, {4});
+  e.read(0, 3);
+  EXPECT_EQ(e.total_writes(), 2u);
+  EXPECT_EQ(e.total_reads(), 1u);
+  EXPECT_EQ(e.bytes_written(), 4u);
+}
+
+TEST(Eeprom, ChargesTheEnergyMeter) {
+  energy::EnergyMeter meter;
+  Eeprom e(256, &meter);
+  e.write(0, std::vector<std::uint8_t>(22, 7));  // 2 lines
+  e.read(0, 22);                                 // 2 lines
+  EXPECT_EQ(meter.eeprom_writes(), 1u);
+  EXPECT_EQ(meter.eeprom_reads(), 1u);
+  EXPECT_DOUBLE_EQ(meter.total_nah(0), 2 * 83.333 + 2 * 1.111);
+}
+
+TEST(Eeprom, WriteOnceTrackingFlagsDoubleWrites) {
+  Eeprom e(128);
+  e.set_track_write_once(true);
+  EXPECT_TRUE(e.write(0, {1, 2, 3, 4}));
+  EXPECT_EQ(e.double_writes(), 0u);
+  EXPECT_TRUE(e.write(4, {5, 6}));  // disjoint: fine
+  EXPECT_EQ(e.double_writes(), 0u);
+  EXPECT_TRUE(e.write(2, {9}));  // overlaps byte 2
+  EXPECT_EQ(e.double_writes(), 1u);
+}
+
+TEST(Eeprom, EraseResetsContentAndWriteMarks) {
+  Eeprom e(64);
+  e.set_track_write_once(true);
+  e.write(0, {1, 2, 3});
+  e.erase();
+  EXPECT_EQ(e.read(0, 3), (std::vector<std::uint8_t>{0, 0, 0}));
+  e.write(0, {7});  // not a double write after erase
+  EXPECT_EQ(e.double_writes(), 0u);
+}
+
+TEST(Eeprom, DefaultCapacityIsMicaFlash) {
+  Eeprom e;
+  EXPECT_EQ(e.capacity(), 512u * 1024u);
+}
+
+}  // namespace
+}  // namespace mnp::storage

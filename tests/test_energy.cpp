@@ -1,0 +1,120 @@
+// Unit tests for the Table-1 energy model and the per-node meter.
+#include <gtest/gtest.h>
+
+#include "energy/energy_meter.hpp"
+
+namespace mnp::energy {
+namespace {
+
+TEST(EnergyModel, Table1Defaults) {
+  // The paper's Table 1 (values in nAh).
+  EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.tx_packet_nah, 20.000);
+  EXPECT_DOUBLE_EQ(m.rx_packet_nah, 8.000);
+  EXPECT_DOUBLE_EQ(m.idle_listen_per_ms_nah, 1.250);
+  EXPECT_DOUBLE_EQ(m.eeprom_read_16b_nah, 1.111);
+  EXPECT_DOUBLE_EQ(m.eeprom_write_16b_nah, 83.333);
+}
+
+TEST(EnergyModel, IdleCostScalesWithTime) {
+  EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.idle_cost_nah(sim::msec(1)), 1.250);
+  EXPECT_DOUBLE_EQ(m.idle_cost_nah(sim::sec(1)), 1250.0);
+}
+
+TEST(EnergyModel, EepromCostsBilledPer16ByteLine) {
+  EnergyModel m;
+  EXPECT_DOUBLE_EQ(m.eeprom_write_cost_nah(16), 83.333);
+  EXPECT_DOUBLE_EQ(m.eeprom_write_cost_nah(17), 2 * 83.333);
+  EXPECT_DOUBLE_EQ(m.eeprom_read_cost_nah(1), 1.111);
+  EXPECT_DOUBLE_EQ(m.eeprom_read_cost_nah(32), 2 * 1.111);
+}
+
+TEST(EnergyMeter, CountsOperations) {
+  EnergyMeter meter;
+  meter.count_tx_packet();
+  meter.count_tx_packet();
+  meter.count_rx_packet();
+  meter.count_eeprom_write(22);  // 2 lines
+  meter.count_eeprom_read(22);   // 2 lines
+  EXPECT_EQ(meter.tx_packets(), 2u);
+  EXPECT_EQ(meter.rx_packets(), 1u);
+  EXPECT_EQ(meter.eeprom_writes(), 1u);
+  EXPECT_EQ(meter.eeprom_reads(), 1u);
+  const double expected =
+      2 * 20.0 + 8.0 + 2 * 83.333 + 2 * 1.111;  // no radio time yet
+  EXPECT_DOUBLE_EQ(meter.total_nah(0), expected);
+}
+
+TEST(EnergyMeter, IntegratesActiveRadioTime) {
+  EnergyMeter meter;
+  meter.radio_became_active(sim::sec(10));
+  meter.radio_became_inactive(sim::sec(25));
+  EXPECT_EQ(meter.active_radio_time(sim::sec(100)), sim::sec(15));
+  meter.radio_became_active(sim::sec(50));
+  // Still on at query time: the open interval counts.
+  EXPECT_EQ(meter.active_radio_time(sim::sec(60)), sim::sec(25));
+}
+
+TEST(EnergyMeter, DoubleOnOffAreIdempotent) {
+  EnergyMeter meter;
+  meter.radio_became_active(sim::sec(1));
+  meter.radio_became_active(sim::sec(2));  // ignored
+  meter.radio_became_inactive(sim::sec(3));
+  meter.radio_became_inactive(sim::sec(4));  // ignored
+  EXPECT_EQ(meter.active_radio_time(sim::sec(10)), sim::sec(2));
+}
+
+TEST(EnergyMeter, ActiveTimeAfterFirstAdvertisement) {
+  // Fig. 9's metric: subtract the initial idle-listening period that ends
+  // when the node first hears an advertisement.
+  EnergyMeter meter;
+  meter.radio_became_active(0);
+  meter.mark_first_advertisement(sim::sec(40));
+  meter.radio_became_inactive(sim::sec(100));
+  EXPECT_EQ(meter.active_radio_time(sim::sec(100)), sim::sec(100));
+  EXPECT_EQ(meter.active_radio_time_after_first_adv(sim::sec(100)), sim::sec(60));
+  EXPECT_TRUE(meter.heard_advertisement());
+  EXPECT_EQ(meter.first_adv_time(), sim::sec(40));
+}
+
+TEST(EnergyMeter, FirstAdvWhileRadioOffDoesNotSplit) {
+  EnergyMeter meter;
+  meter.radio_became_active(0);
+  meter.radio_became_inactive(sim::sec(10));
+  meter.mark_first_advertisement(sim::sec(20));  // radio currently off
+  meter.radio_became_active(sim::sec(30));
+  meter.radio_became_inactive(sim::sec(45));
+  EXPECT_EQ(meter.active_radio_time(sim::sec(50)), sim::sec(25));
+  EXPECT_EQ(meter.active_radio_time_after_first_adv(sim::sec(50)), sim::sec(15));
+}
+
+TEST(EnergyMeter, NoAdvertisementMeansZeroPostAdvTime) {
+  EnergyMeter meter;
+  meter.radio_became_active(0);
+  EXPECT_FALSE(meter.heard_advertisement());
+  EXPECT_EQ(meter.active_radio_time_after_first_adv(sim::sec(100)), 0);
+}
+
+TEST(EnergyMeter, MarkFirstAdvertisementOnlyOnce) {
+  EnergyMeter meter;
+  meter.radio_became_active(0);
+  meter.mark_first_advertisement(sim::sec(10));
+  meter.mark_first_advertisement(sim::sec(90));  // ignored
+  EXPECT_EQ(meter.first_adv_time(), sim::sec(10));
+  EXPECT_EQ(meter.active_radio_time_after_first_adv(sim::sec(100)), sim::sec(90));
+}
+
+TEST(EnergyMeter, IdleListeningDominatesLongRuns) {
+  // The paper's motivation: a node with the radio on for minutes spends
+  // far more charge idling than transmitting its handful of packets.
+  EnergyMeter meter;
+  meter.radio_became_active(0);
+  for (int i = 0; i < 100; ++i) meter.count_tx_packet();
+  const double total = meter.total_nah(sim::minutes(10));
+  const double tx_part = 100 * 20.0;
+  EXPECT_GT(total - tx_part, 100 * tx_part);
+}
+
+}  // namespace
+}  // namespace mnp::energy

@@ -1,0 +1,119 @@
+// Experiment harness and report tests.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace mnp {
+namespace {
+
+harness::ExperimentConfig tiny() {
+  harness::ExperimentConfig cfg;
+  cfg.rows = 3;
+  cfg.cols = 3;
+  cfg.range_ft = 25.0;
+  cfg.set_program_segments(1);
+  cfg.max_sim_time = sim::hours(1);
+  return cfg;
+}
+
+TEST(Harness, ProtocolNames) {
+  EXPECT_STREQ(harness::protocol_name(harness::Protocol::kMnp), "MNP");
+  EXPECT_STREQ(harness::protocol_name(harness::Protocol::kDeluge), "Deluge");
+  EXPECT_STREQ(harness::protocol_name(harness::Protocol::kMoap), "MOAP");
+  EXPECT_STREQ(harness::protocol_name(harness::Protocol::kXnp), "XNP");
+}
+
+TEST(Harness, SetProgramSegmentsSizesImage) {
+  harness::ExperimentConfig cfg;
+  cfg.set_program_segments(5);
+  EXPECT_EQ(cfg.program_bytes, 5u * 128 * 22);
+}
+
+TEST(Harness, ResultShapesMatchConfig) {
+  auto cfg = tiny();
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_EQ(r.rows, 3u);
+  EXPECT_EQ(r.cols, 3u);
+  EXPECT_EQ(r.nodes.size(), 9u);
+  ASSERT_TRUE(r.all_completed);
+  EXPECT_EQ(r.completion_time, r.measured_at);
+  EXPECT_GT(r.transmissions, 0u);
+  EXPECT_GT(r.deliveries, 0u);
+}
+
+TEST(Harness, AggregatesAreConsistent) {
+  const auto r = harness::run_experiment(tiny());
+  ASSERT_TRUE(r.all_completed);
+  double art = 0;
+  for (const auto& n : r.nodes) art += sim::to_seconds(n.active_radio);
+  EXPECT_NEAR(r.avg_active_radio_s(), art / 9.0, 1e-9);
+  EXPECT_GE(r.avg_active_radio_s(), r.avg_active_radio_after_adv_s());
+  EXPECT_GT(r.total_energy_nah(), 0.0);
+  EXPECT_EQ(r.verified_count(), 9u);
+}
+
+TEST(Harness, TimelineCoversTheRun) {
+  const auto r = harness::run_experiment(tiny());
+  ASSERT_FALSE(r.timeline.empty());
+  std::uint64_t timeline_total = 0;
+  for (const auto& [minute, counts] : r.timeline) {
+    timeline_total += counts[0] + counts[1] + counts[2] + counts[3];
+  }
+  EXPECT_EQ(timeline_total, r.transmissions);
+}
+
+TEST(Harness, SenderOrderStartsAtBase) {
+  const auto r = harness::run_experiment(tiny());
+  ASSERT_FALSE(r.sender_order.empty());
+  EXPECT_EQ(r.sender_order.front(), 0);  // base forwards first
+}
+
+TEST(Harness, BatteryLevelsAreApplied) {
+  auto cfg = tiny();
+  cfg.mnp.battery_aware = true;
+  cfg.battery_levels.assign(9, 1.0);
+  cfg.battery_levels[4] = 0.3;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_TRUE(r.all_completed);
+}
+
+TEST(Report, RenderersProduceOutput) {
+  const auto r = harness::run_experiment(tiny());
+  std::ostringstream os;
+  harness::print_summary(os, "t", r);
+  harness::print_parent_map(os, r, 0);
+  harness::print_sender_order(os, r);
+  harness::print_active_radio(os, r);
+  harness::print_tx_rx_distribution(os, r);
+  harness::print_timeline(os, r);
+  harness::print_propagation_snapshots(os, r, {0.3, 0.6, 0.9});
+  const std::string out = os.str();
+  EXPECT_NE(out.find("completion time"), std::string::npos);
+  EXPECT_NE(out.find("parent map"), std::string::npos);
+  EXPECT_NE(out.find("sender order"), std::string::npos);
+  EXPECT_NE(out.find("active radio time"), std::string::npos);
+  EXPECT_NE(out.find("minute"), std::string::npos);
+  EXPECT_NE(out.find("30% of time"), std::string::npos);
+  EXPECT_NE(out.find('B'), std::string::npos);  // base marker on the map
+}
+
+TEST(Report, SummaryHandlesIncompleteRuns) {
+  auto cfg = tiny();
+  cfg.protocol = harness::Protocol::kXnp;
+  cfg.rows = 1;
+  cfg.cols = 6;
+  cfg.range_ft = 15.0;
+  cfg.empirical_links = false;
+  cfg.max_sim_time = sim::minutes(20);
+  const auto r = harness::run_experiment(cfg);
+  ASSERT_FALSE(r.all_completed);
+  std::ostringstream os;
+  harness::print_summary(os, "incomplete", r);
+  EXPECT_NE(os.str().find("never"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mnp

@@ -1,0 +1,73 @@
+// Unit tests for RunningStats and Histogram.
+#include <gtest/gtest.h>
+
+#include "util/histogram.hpp"
+
+namespace mnp::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(3.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.25);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Histogram, BinsValues) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-100.0);
+  h.add(1e9);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+}
+
+TEST(Histogram, DegenerateConstruction) {
+  Histogram h(5.0, 5.0, 0);  // invalid hi/lo and zero bins
+  h.add(5.0);
+  EXPECT_EQ(h.bins(), 1u);
+  EXPECT_EQ(h.total(), 1u);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(1.5);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);  // peak bin
+  EXPECT_NE(out.find(" 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mnp::util

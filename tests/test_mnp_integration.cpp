@@ -1,0 +1,57 @@
+// End-to-end MNP dissemination tests on small networks.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+#include "harness/report.hpp"
+
+namespace mnp {
+namespace {
+
+harness::ExperimentConfig small_grid() {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kMnp;
+  cfg.rows = 3;
+  cfg.cols = 3;
+  cfg.spacing_ft = 10.0;
+  cfg.range_ft = 15.0;  // neighbors only: forces multihop
+  cfg.empirical_links = false;
+  cfg.set_program_segments(1);
+  cfg.max_sim_time = sim::hours(1);
+  return cfg;
+}
+
+TEST(MnpIntegration, SingleSegmentSmallGridCompletes) {
+  auto cfg = small_grid();
+  const auto result = harness::run_experiment(cfg);
+  EXPECT_TRUE(result.all_completed)
+      << "completed " << result.completed_count << "/" << result.nodes.size();
+  EXPECT_EQ(result.verified_count(), result.nodes.size());
+  EXPECT_GE(result.completion_time, 0);
+}
+
+TEST(MnpIntegration, MultiSegmentPipelineCompletes) {
+  auto cfg = small_grid();
+  cfg.rows = 4;
+  cfg.cols = 4;
+  cfg.set_program_segments(3);
+  const auto result = harness::run_experiment(cfg);
+  EXPECT_TRUE(result.all_completed)
+      << "completed " << result.completed_count << "/" << result.nodes.size();
+  EXPECT_EQ(result.verified_count(), result.nodes.size());
+}
+
+TEST(MnpIntegration, LossyLinksStillComplete) {
+  auto cfg = small_grid();
+  cfg.empirical_links = true;
+  cfg.range_ft = 25.0;
+  cfg.rows = 5;
+  cfg.cols = 5;
+  cfg.set_program_segments(2);
+  const auto result = harness::run_experiment(cfg);
+  EXPECT_TRUE(result.all_completed)
+      << "completed " << result.completed_count << "/" << result.nodes.size();
+  EXPECT_EQ(result.verified_count(), result.nodes.size());
+}
+
+}  // namespace
+}  // namespace mnp

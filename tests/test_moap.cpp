@@ -1,0 +1,71 @@
+// MOAP baseline tests: hop-by-hop relay with sliding-window NACK repair.
+#include <gtest/gtest.h>
+
+#include "harness/experiment.hpp"
+
+namespace mnp {
+namespace {
+
+harness::ExperimentConfig moap_config() {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kMoap;
+  cfg.rows = 3;
+  cfg.cols = 3;
+  cfg.spacing_ft = 10.0;
+  cfg.range_ft = 25.0;
+  cfg.program_bytes = 64 * 22;
+  cfg.max_sim_time = sim::hours(2);
+  return cfg;
+}
+
+TEST(Moap, DisseminatesToEveryNode) {
+  const auto r = harness::run_experiment(moap_config());
+  EXPECT_TRUE(r.all_completed) << r.completed_count << "/" << r.nodes.size();
+  EXPECT_EQ(r.verified_count(), r.nodes.size());
+}
+
+TEST(Moap, MultihopRelayWorks) {
+  auto cfg = moap_config();
+  cfg.rows = 1;
+  cfg.cols = 5;
+  cfg.range_ft = 15.0;  // strict hop-by-hop chain
+  cfg.empirical_links = false;
+  const auto r = harness::run_experiment(cfg);
+  EXPECT_TRUE(r.all_completed) << r.completed_count << "/" << r.nodes.size();
+  // The far node's parent is an intermediate relay, not the base.
+  EXPECT_GT(r.nodes[4].parent, 0);
+}
+
+TEST(Moap, RadioIsAlwaysOn) {
+  const auto r = harness::run_experiment(moap_config());
+  ASSERT_TRUE(r.all_completed);
+  for (const auto& n : r.nodes) {
+    EXPECT_GE(n.active_radio, r.measured_at - sim::msec(600));
+  }
+}
+
+TEST(Moap, HopByHopMeansNoPipelining) {
+  // A MOAP relay transmits data only after it holds the FULL image: on a
+  // strict chain, the far node cannot complete before the middle node.
+  auto cfg = moap_config();
+  cfg.rows = 1;
+  cfg.cols = 4;
+  cfg.range_ft = 15.0;
+  cfg.empirical_links = false;
+  const auto r = harness::run_experiment(cfg);
+  ASSERT_TRUE(r.all_completed);
+  EXPECT_LT(r.nodes[1].completion, r.nodes[2].completion);
+  EXPECT_LT(r.nodes[2].completion, r.nodes[3].completion);
+}
+
+TEST(Moap, LossySeedsStillComplete) {
+  for (std::uint64_t seed : {4ull, 9ull, 16ull}) {
+    auto cfg = moap_config();
+    cfg.seed = seed;
+    const auto r = harness::run_experiment(cfg);
+    EXPECT_TRUE(r.all_completed) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mnp

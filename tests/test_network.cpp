@@ -1,0 +1,129 @@
+// Network assembly tests: construction, boot jitter, MAC/link factories,
+// completion accounting.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "mnp/mnp_node.hpp"
+#include "net/tdma_mac.hpp"
+#include "node/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace mnp::node {
+namespace {
+
+std::unique_ptr<net::LinkModel> disk_links(const net::Topology& t) {
+  return std::make_unique<net::DiskLinkModel>(t, 25.0);
+}
+
+TEST(Network, BuildsOneNodePerPosition) {
+  sim::Simulator sim(1);
+  Network network(sim, net::Topology::grid(3, 4, 10.0), disk_links);
+  EXPECT_EQ(network.size(), 12u);
+  for (net::NodeId id = 0; id < 12; ++id) {
+    EXPECT_EQ(network.node(id).id(), id);
+    EXPECT_FALSE(network.node(id).radio_is_on());  // not booted yet
+  }
+  EXPECT_EQ(network.stats().node_count(), 12u);
+  EXPECT_EQ(network.topology().grid_cols(), 4u);
+}
+
+TEST(Network, BootAllJittersWithinBound) {
+  sim::Simulator sim(2);
+  Network network(sim, net::Topology::grid(2, 2, 10.0), disk_links);
+  core::MnpConfig cfg;
+  for (net::NodeId id = 0; id < 4; ++id) {
+    network.node(id).set_application(std::make_unique<core::MnpNode>(cfg));
+  }
+  network.boot_all(sim::msec(200));
+  // Before the jitter window nothing is on; after it everything is.
+  std::size_t on_before = 0;
+  sim.run_until(0);
+  for (net::NodeId id = 0; id < 4; ++id) {
+    if (network.node(id).radio_is_on()) ++on_before;
+  }
+  sim.run_until(sim::msec(200));
+  for (net::NodeId id = 0; id < 4; ++id) {
+    EXPECT_TRUE(network.node(id).radio_is_on()) << "node " << id;
+  }
+  EXPECT_LE(on_before, 4u);
+}
+
+TEST(Network, BootIsDeterministicPerSeed) {
+  auto first_boot_time = [](std::uint64_t seed) {
+    sim::Simulator sim(seed);
+    Network network(sim, net::Topology::grid(2, 2, 10.0), disk_links);
+    core::MnpConfig cfg;
+    for (net::NodeId id = 0; id < 4; ++id) {
+      network.node(id).set_application(std::make_unique<core::MnpNode>(cfg));
+    }
+    network.boot_all(sim::msec(400));
+    while (!network.node(0).radio_is_on() && sim.now() < sim::sec(1)) {
+      sim.run_until(sim.now() + sim::msec(1));
+    }
+    return sim.now();
+  };
+  EXPECT_EQ(first_boot_time(5), first_boot_time(5));
+}
+
+TEST(Network, CompleteImageCountTracksApplications) {
+  sim::Simulator sim(3);
+  Network network(sim, net::Topology::grid(1, 2, 10.0), disk_links);
+  core::MnpConfig cfg;
+  auto image = std::make_shared<const core::ProgramImage>(
+      1, cfg.packets_per_segment * cfg.payload_bytes);
+  network.node(0).set_application(std::make_unique<core::MnpNode>(cfg, image));
+  network.node(1).set_application(std::make_unique<core::MnpNode>(cfg));
+  EXPECT_EQ(network.complete_image_count(), 0u);  // nothing booted yet
+  network.node(0).boot();
+  EXPECT_EQ(network.complete_image_count(), 1u);  // base holds it innately
+  network.node(1).boot();
+  sim.run_until_condition(sim::hours(1),
+                          [&] { return network.stats().all_completed(); });
+  EXPECT_EQ(network.complete_image_count(), 2u);
+}
+
+TEST(Network, MacFactoryInstallsCustomMac) {
+  sim::Simulator sim(4);
+  int factory_calls = 0;
+  Network network(
+      sim, net::Topology::grid(2, 2, 10.0), disk_links, {}, {},
+      [&factory_calls](net::NodeId id, net::Radio& radio,
+                       sim::Simulator& s) -> std::unique_ptr<net::Mac> {
+        ++factory_calls;
+        net::TdmaMac::Params p;
+        p.frame_slots = 4;
+        p.my_slot = id % 4;
+        return std::make_unique<net::TdmaMac>(radio, s.scheduler(), p);
+      });
+  EXPECT_EQ(factory_calls, 4);
+  // The installed MAC is actually used: a TDMA-slotted send works.
+  network.node(0).boot();
+  network.node(1).boot();
+  int received = 0;
+  network.node(1).radio().set_receive_handler(
+      [&](const net::Packet&) { ++received; });
+  net::Packet pkt;
+  pkt.payload = net::AdvertisementMsg{};
+  EXPECT_TRUE(network.node(0).send(std::move(pkt)));
+  sim.run_until(sim::sec(2));
+  EXPECT_EQ(received, 1);
+}
+
+TEST(Network, NullMacFactoryDefaultsToCsma) {
+  sim::Simulator sim(5);
+  Network network(sim, net::Topology::grid(1, 2, 10.0), disk_links);
+  network.node(0).boot();
+  network.node(1).boot();
+  int received = 0;
+  network.node(1).radio().set_receive_handler(
+      [&](const net::Packet&) { ++received; });
+  net::Packet pkt;
+  pkt.payload = net::AdvertisementMsg{};
+  EXPECT_TRUE(network.node(0).send(std::move(pkt)));
+  sim.run_until(sim::sec(1));
+  EXPECT_EQ(received, 1);
+}
+
+}  // namespace
+}  // namespace mnp::node

@@ -1,0 +1,124 @@
+// Unit tests for the typed packet variant: type mapping, logical
+// destinations, and on-air sizes (airtime inputs).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "net/packet.hpp"
+
+namespace mnp::net {
+namespace {
+
+template <typename T>
+Packet make(T msg) {
+  Packet pkt;
+  pkt.payload = std::move(msg);
+  return pkt;
+}
+
+TEST(Packet, TypeMappingCoversEveryVariant) {
+  EXPECT_EQ(make(AdvertisementMsg{}).type(), PacketType::kAdvertisement);
+  EXPECT_EQ(make(DownloadRequestMsg{}).type(), PacketType::kDownloadRequest);
+  EXPECT_EQ(make(StartDownloadMsg{}).type(), PacketType::kStartDownload);
+  EXPECT_EQ(make(DataMsg{}).type(), PacketType::kData);
+  EXPECT_EQ(make(EndDownloadMsg{}).type(), PacketType::kEndDownload);
+  EXPECT_EQ(make(QueryMsg{}).type(), PacketType::kQuery);
+  EXPECT_EQ(make(RepairRequestMsg{}).type(), PacketType::kRepairRequest);
+  EXPECT_EQ(make(DelugeSummaryMsg{}).type(), PacketType::kDelugeSummary);
+  EXPECT_EQ(make(DelugeRequestMsg{}).type(), PacketType::kDelugeRequest);
+  EXPECT_EQ(make(DelugeDataMsg{}).type(), PacketType::kDelugeData);
+  EXPECT_EQ(make(MoapPublishMsg{}).type(), PacketType::kMoapPublish);
+  EXPECT_EQ(make(MoapSubscribeMsg{}).type(), PacketType::kMoapSubscribe);
+  EXPECT_EQ(make(MoapDataMsg{}).type(), PacketType::kMoapData);
+  EXPECT_EQ(make(MoapNackMsg{}).type(), PacketType::kMoapNack);
+  EXPECT_EQ(make(XnpDataMsg{}).type(), PacketType::kXnpData);
+  EXPECT_EQ(make(XnpQueryMsg{}).type(), PacketType::kXnpQuery);
+  EXPECT_EQ(make(XnpFixRequestMsg{}).type(), PacketType::kXnpFixRequest);
+}
+
+TEST(Packet, LogicalDestDefaultsToBroadcast) {
+  EXPECT_EQ(make(AdvertisementMsg{}).logical_dest(), kBroadcastId);
+  EXPECT_EQ(make(DataMsg{}).logical_dest(), kBroadcastId);
+  EXPECT_EQ(make(XnpQueryMsg{}).logical_dest(), kBroadcastId);
+}
+
+TEST(Packet, AddressedMessagesCarryTheirDest) {
+  DownloadRequestMsg req;
+  req.dest = 17;
+  EXPECT_EQ(make(req).logical_dest(), 17);
+  RepairRequestMsg rep;
+  rep.dest = 4;
+  EXPECT_EQ(make(rep).logical_dest(), 4);
+  MoapNackMsg nack;
+  nack.dest = 9;
+  EXPECT_EQ(make(nack).logical_dest(), 9);
+}
+
+TEST(Packet, AsReturnsTypedPayloadOrNull) {
+  AdvertisementMsg adv;
+  adv.seg_id = 3;
+  Packet pkt = make(adv);
+  pkt.src = 12;
+  ASSERT_NE(pkt.as<AdvertisementMsg>(), nullptr);
+  EXPECT_EQ(pkt.as<AdvertisementMsg>()->seg_id, 3);
+  EXPECT_EQ(pkt.as<DataMsg>(), nullptr);
+}
+
+TEST(Packet, WireBytesIncludeFraming) {
+  Packet adv{0, AdvertisementMsg{}};
+  EXPECT_EQ(adv.wire_bytes(), kFramingBytes + AdvertisementMsg::kWireBytes);
+}
+
+TEST(Packet, DataWireBytesScaleWithPayload) {
+  DataMsg d;
+  d.payload.assign(22, 0xAB);
+  Packet pkt = make(d);
+  EXPECT_EQ(pkt.wire_bytes(), kFramingBytes + DataMsg::kHeaderBytes + 22);
+}
+
+TEST(Packet, DownloadRequestCarries16ByteMissingVector) {
+  // A full MissingVector must fit in one radio packet (paper section 3.3):
+  // total on-air size stays well under the CC1000 practical frame bound.
+  Packet req{0, DownloadRequestMsg{}};
+  EXPECT_EQ(req.wire_bytes(),
+            kFramingBytes + 2 + 2 + 2 + 1 + 2 + 1 + util::Bitmap::kMaxBytes);
+  EXPECT_LE(req.wire_bytes(), 64u);
+}
+
+TEST(Packet, BulkDataClassification) {
+  EXPECT_TRUE(is_bulk_data(PacketType::kData));
+  EXPECT_TRUE(is_bulk_data(PacketType::kDelugeData));
+  EXPECT_TRUE(is_bulk_data(PacketType::kMoapData));
+  EXPECT_TRUE(is_bulk_data(PacketType::kXnpData));
+  EXPECT_FALSE(is_bulk_data(PacketType::kAdvertisement));
+  EXPECT_FALSE(is_bulk_data(PacketType::kDownloadRequest));
+  EXPECT_FALSE(is_bulk_data(PacketType::kQuery));
+}
+
+TEST(Packet, TypeNamesAreUniqueAndNonEmpty) {
+  const PacketType all[] = {
+      PacketType::kAdvertisement, PacketType::kDownloadRequest,
+      PacketType::kStartDownload, PacketType::kData,
+      PacketType::kEndDownload,   PacketType::kQuery,
+      PacketType::kRepairRequest, PacketType::kDelugeSummary,
+      PacketType::kDelugeRequest, PacketType::kDelugeData,
+      PacketType::kMoapPublish,   PacketType::kMoapSubscribe,
+      PacketType::kMoapData,      PacketType::kMoapNack,
+      PacketType::kXnpData,       PacketType::kXnpQuery,
+      PacketType::kXnpFixRequest};
+  std::set<std::string> names;
+  for (auto t : all) {
+    const std::string name = to_string(t);
+    EXPECT_FALSE(name.empty());
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+  }
+}
+
+TEST(Packet, DefaultPowerScaleIsFull) {
+  Packet pkt{0, AdvertisementMsg{}};
+  EXPECT_DOUBLE_EQ(pkt.power_scale, 1.0);
+}
+
+}  // namespace
+}  // namespace mnp::net

@@ -1,0 +1,104 @@
+// Unit tests for the deterministic RNG.
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+
+namespace mnp::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1000000) == b.uniform_int(0, 1000000)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(Rng, UniformIntDegenerateRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+  EXPECT_EQ(rng.uniform_int(9, 3), 9);  // inverted => lo
+}
+
+TEST(Rng, UniformRealRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_real(-1.0, 1.0);
+    EXPECT_GE(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-3.0));  // clamped
+    EXPECT_TRUE(rng.bernoulli(42.0));   // clamped
+  }
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng rng(123);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  const double rate = static_cast<double>(hits) / n;
+  EXPECT_NEAR(rate, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(321);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 2.0);
+}
+
+TEST(Rng, NormalDegenerateStddev) {
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(rng.normal(3.5, 0.0), 3.5);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic) {
+  Rng parent1(55), parent2(55);
+  Rng childa = parent1.fork(1);
+  Rng childb = parent2.fork(1);
+  // Same parent state + same salt => identical child stream.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(childa.uniform_int(0, 1 << 30), childb.uniform_int(0, 1 << 30));
+  }
+  // Different salts diverge.
+  Rng parent3(55);
+  Rng childc = parent3.fork(2);
+  Rng parent4(55);
+  Rng childd = parent4.fork(1);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (childc.uniform_int(0, 1 << 30) == childd.uniform_int(0, 1 << 30)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace mnp::sim

@@ -1,0 +1,212 @@
+// Unit tests for the discrete event scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace mnp::sim {
+namespace {
+
+TEST(Scheduler, RunsEventsInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(msec(30), [&] { order.push_back(3); });
+  s.schedule_at(msec(10), [&] { order.push_back(1); });
+  s.schedule_at(msec(20), [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), msec(30));
+}
+
+TEST(Scheduler, SameTimeEventsRunFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule_at(msec(5), [&order, i] { order.push_back(i); });
+  }
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Scheduler, ScheduleAfterIsRelative) {
+  Scheduler s;
+  Time fired = -1;
+  s.schedule_at(msec(10), [&] {
+    s.schedule_after(msec(5), [&] { fired = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(fired, msec(15));
+}
+
+TEST(Scheduler, PastTimesClampToNow) {
+  Scheduler s;
+  Time fired = -1;
+  s.schedule_at(msec(10), [&] {
+    s.schedule_at(msec(1), [&] { fired = s.now(); });  // in the past
+  });
+  s.run_all();
+  EXPECT_EQ(fired, msec(10));
+}
+
+TEST(Scheduler, NegativeDelayClampsToZero) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_after(-100, [&] { fired = true; });
+  s.run_all();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), 0);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  EventHandle h = s.schedule_at(msec(10), [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Scheduler, CancelIsIdempotentAndSafeAfterFire) {
+  Scheduler s;
+  EventHandle h = s.schedule_at(msec(1), [] {});
+  s.run_all();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // no-op
+  h.cancel();
+  EventHandle empty;
+  empty.cancel();  // default handle: also safe
+  EXPECT_FALSE(empty.pending());
+}
+
+TEST(Scheduler, CancelledHeadDoesNotConsumeLaterEvents) {
+  // Regression: a cancelled tombstone at the queue head must not cause a
+  // live event beyond the run_until horizon to be consumed.
+  Scheduler s;
+  bool late_fired = false;
+  EventHandle early = s.schedule_at(msec(1), [] {});
+  s.schedule_at(msec(100), [&] { late_fired = true; });
+  early.cancel();
+  s.run_until(msec(10));
+  EXPECT_FALSE(late_fired);
+  EXPECT_EQ(s.executed_events(), 0u);
+  s.run_until(msec(100));
+  EXPECT_TRUE(late_fired);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizon) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule_at(msec(i * 10), [&] { ++count; });
+  }
+  EXPECT_EQ(s.run_until(msec(50)), 5u);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(s.run_until(msec(1000)), 5u);
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Scheduler, ClockParksAtTheHorizon) {
+  // Regression: run_until(t) must leave the clock at t even when no event
+  // fell inside the window, so relative windows (run_until(now + dt))
+  // always make progress across event gaps.
+  Scheduler s;
+  s.run_until(msec(100));
+  EXPECT_EQ(s.now(), msec(100));  // empty window still advances the clock
+  bool fired = false;
+  s.schedule_at(msec(500), [&] { fired = true; });
+  for (int i = 0; i < 5; ++i) s.run_until(s.now() + msec(100));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(s.now(), msec(600));
+}
+
+TEST(Scheduler, RunAllDoesNotJumpToInfinity) {
+  Scheduler s;
+  s.schedule_at(msec(7), [] {});
+  s.run_all();
+  EXPECT_EQ(s.now(), msec(7));  // clock rests at the last event
+  // Scheduling afterwards still works at sane times.
+  bool fired = false;
+  s.schedule_after(msec(1), [&] { fired = true; });
+  s.run_until(msec(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule_at(msec(1), [&] { ++count; });
+  s.schedule_at(msec(2), [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, EventsScheduledDuringRunExecute) {
+  Scheduler s;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) s.schedule_after(msec(1), recurse);
+  };
+  s.schedule_after(msec(1), recurse);
+  s.run_all();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(s.now(), msec(5));
+}
+
+TEST(Scheduler, NextEventTimeSkipsTombstones) {
+  Scheduler s;
+  EventHandle a = s.schedule_at(msec(5), [] {});
+  s.schedule_at(msec(9), [] {});
+  EXPECT_EQ(s.next_event_time(), msec(5));
+  a.cancel();
+  EXPECT_EQ(s.next_event_time(), msec(9));
+}
+
+TEST(Scheduler, EmptyAfterDrain) {
+  Scheduler s;
+  EXPECT_TRUE(s.empty());
+  EventHandle h = s.schedule_at(msec(5), [] {});
+  EXPECT_FALSE(s.empty());
+  h.cancel();
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Simulator, RunUntilConditionStopsEarly) {
+  Simulator sim(1);
+  int count = 0;
+  for (int i = 1; i <= 100; ++i) {
+    sim.scheduler().schedule_at(msec(i), [&] { ++count; });
+  }
+  const bool met =
+      sim.run_until_condition(sec(10), [&] { return count >= 7; });
+  EXPECT_TRUE(met);
+  EXPECT_EQ(count, 7);
+  EXPECT_EQ(sim.now(), msec(7));
+}
+
+TEST(Simulator, RunUntilConditionHonoursDeadline) {
+  Simulator sim(1);
+  int count = 0;
+  for (int i = 1; i <= 100; ++i) {
+    sim.scheduler().schedule_at(sec(i), [&] { ++count; });
+  }
+  const bool met = sim.run_until_condition(sec(10), [&] { return count >= 50; });
+  EXPECT_FALSE(met);
+  EXPECT_LE(count, 10);
+}
+
+TEST(Simulator, RunUntilConditionExhaustsEvents) {
+  Simulator sim(1);
+  sim.scheduler().schedule_at(msec(1), [] {});
+  const bool met = sim.run_until_condition(sec(10), [] { return false; });
+  EXPECT_FALSE(met);
+}
+
+}  // namespace
+}  // namespace mnp::sim

@@ -1,0 +1,63 @@
+// Tests for the multi-seed sweep harness.
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+
+namespace mnp::harness {
+namespace {
+
+ExperimentConfig tiny() {
+  ExperimentConfig cfg;
+  cfg.rows = 3;
+  cfg.cols = 3;
+  cfg.range_ft = 25.0;
+  cfg.set_program_segments(1);
+  cfg.max_sim_time = sim::hours(1);
+  return cfg;
+}
+
+TEST(Sweep, AggregatesAcrossSeeds) {
+  const auto sweep = run_sweep(tiny(), 4, /*first_seed=*/50);
+  EXPECT_EQ(sweep.runs, 4u);
+  EXPECT_EQ(sweep.fully_completed_runs, 4u);
+  EXPECT_EQ(sweep.completion_s.count(), 4u);
+  EXPECT_GT(sweep.completion_s.mean(), 0.0);
+  EXPECT_GE(sweep.completion_s.max(), sweep.completion_s.min());
+  EXPECT_GT(sweep.avg_msgs.mean(), 0.0);
+  EXPECT_GT(sweep.energy_per_node_nah.mean(), 0.0);
+  EXPECT_GE(sweep.effective_senders.min(), 1.0);
+  EXPECT_TRUE(sweep.raw.empty());  // keep_raw defaults off
+}
+
+TEST(Sweep, SeedsActuallyVaryTheRuns) {
+  const auto sweep = run_sweep(tiny(), 5, 10);
+  // Stochastic system: not every seed can give the same completion time.
+  EXPECT_GT(sweep.completion_s.stddev(), 0.0);
+}
+
+TEST(Sweep, KeepRawRetainsResults) {
+  const auto sweep = run_sweep(tiny(), 3, 1, /*keep_raw=*/true);
+  ASSERT_EQ(sweep.raw.size(), 3u);
+  for (const auto& r : sweep.raw) {
+    EXPECT_TRUE(r.all_completed);
+    EXPECT_EQ(r.nodes.size(), 9u);
+  }
+}
+
+TEST(Sweep, SameSeedRangeIsDeterministic) {
+  const auto a = run_sweep(tiny(), 3, 7);
+  const auto b = run_sweep(tiny(), 3, 7);
+  EXPECT_DOUBLE_EQ(a.completion_s.mean(), b.completion_s.mean());
+  EXPECT_DOUBLE_EQ(a.avg_msgs.mean(), b.avg_msgs.mean());
+}
+
+TEST(Sweep, FormatStat) {
+  util::RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  const std::string out = format_stat(s, 1);
+  EXPECT_EQ(out, "2.0 +/- 1.0 [1.0, 3.0]");
+}
+
+}  // namespace
+}  // namespace mnp::harness

@@ -1,0 +1,35 @@
+// Unit tests for sim::Time helpers.
+#include <gtest/gtest.h>
+
+#include "sim/time.hpp"
+
+namespace mnp::sim {
+namespace {
+
+TEST(Time, UnitConversions) {
+  EXPECT_EQ(usec(5), 5);
+  EXPECT_EQ(msec(5), 5000);
+  EXPECT_EQ(sec(5), 5000000);
+  EXPECT_EQ(minutes(2), 120000000);
+  EXPECT_EQ(hours(1), 3600000000LL);
+}
+
+TEST(Time, ToSecondsAndBack) {
+  EXPECT_DOUBLE_EQ(to_seconds(sec(90)), 90.0);
+  EXPECT_DOUBLE_EQ(to_ms(msec(250)), 250.0);
+  EXPECT_DOUBLE_EQ(to_minutes(minutes(3)), 3.0);
+}
+
+TEST(Time, FormatSubMinute) {
+  EXPECT_EQ(format_time(msec(1500)), "1.500s");
+}
+
+TEST(Time, FormatMinutes) {
+  EXPECT_EQ(format_time(sec(90)), "1m30.0s");
+  EXPECT_EQ(format_time(minutes(25)), "25m00.0s");
+}
+
+TEST(Time, FormatNever) { EXPECT_EQ(format_time(kNever), "never"); }
+
+}  // namespace
+}  // namespace mnp::sim

@@ -1,0 +1,63 @@
+// Unit tests for node placement.
+#include <gtest/gtest.h>
+
+#include "net/topology.hpp"
+
+namespace mnp::net {
+namespace {
+
+TEST(Topology, GridPlacesRowMajor) {
+  Topology t = Topology::grid(3, 4, 10.0);
+  EXPECT_EQ(t.size(), 12u);
+  EXPECT_TRUE(t.is_grid());
+  EXPECT_EQ(t.grid_rows(), 3u);
+  EXPECT_EQ(t.grid_cols(), 4u);
+  EXPECT_DOUBLE_EQ(t.grid_spacing(), 10.0);
+  // Node id r*cols + c at (c*spacing, r*spacing).
+  EXPECT_DOUBLE_EQ(t.position(0).x, 0.0);
+  EXPECT_DOUBLE_EQ(t.position(0).y, 0.0);
+  EXPECT_DOUBLE_EQ(t.position(5).x, 10.0);  // r=1, c=1
+  EXPECT_DOUBLE_EQ(t.position(5).y, 10.0);
+  EXPECT_DOUBLE_EQ(t.position(11).x, 30.0);  // r=2, c=3
+  EXPECT_DOUBLE_EQ(t.position(11).y, 20.0);
+}
+
+TEST(Topology, DistancesAreEuclidean) {
+  Topology t = Topology::grid(2, 2, 10.0);
+  EXPECT_DOUBLE_EQ(t.node_distance(0, 1), 10.0);
+  EXPECT_DOUBLE_EQ(t.node_distance(0, 2), 10.0);
+  EXPECT_NEAR(t.node_distance(0, 3), 14.1421356, 1e-6);
+  EXPECT_DOUBLE_EQ(t.node_distance(3, 3), 0.0);
+}
+
+TEST(Topology, CustomPlacement) {
+  Topology t;
+  EXPECT_FALSE(t.is_grid());
+  t.add({0.0, 0.0});
+  t.add({3.0, 4.0});
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_DOUBLE_EQ(t.node_distance(0, 1), 5.0);
+}
+
+class GridSizeTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(GridSizeTest, AllPairDistancesAtLeastSpacing) {
+  const auto [rows, cols] = GetParam();
+  Topology t = Topology::grid(rows, cols, 10.0);
+  ASSERT_EQ(t.size(), rows * cols);
+  for (NodeId a = 0; a < t.size(); ++a) {
+    for (NodeId b = static_cast<NodeId>(a + 1); b < t.size(); ++b) {
+      EXPECT_GE(t.node_distance(a, b), 10.0 - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GridSizeTest,
+                         ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 1),
+                                           std::make_pair<std::size_t, std::size_t>(1, 10),
+                                           std::make_pair<std::size_t, std::size_t>(4, 5),
+                                           std::make_pair<std::size_t, std::size_t>(7, 7)));
+
+}  // namespace
+}  // namespace mnp::net

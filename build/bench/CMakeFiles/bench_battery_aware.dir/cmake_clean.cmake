@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_battery_aware.dir/bench_battery_aware.cpp.o"
+  "CMakeFiles/bench_battery_aware.dir/bench_battery_aware.cpp.o.d"
+  "bench_battery_aware"
+  "bench_battery_aware.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_battery_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

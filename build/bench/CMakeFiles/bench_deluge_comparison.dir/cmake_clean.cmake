@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deluge_comparison.dir/bench_deluge_comparison.cpp.o"
+  "CMakeFiles/bench_deluge_comparison.dir/bench_deluge_comparison.cpp.o.d"
+  "bench_deluge_comparison"
+  "bench_deluge_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deluge_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

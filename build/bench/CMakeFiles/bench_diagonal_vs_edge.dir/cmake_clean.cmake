@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_diagonal_vs_edge.dir/bench_diagonal_vs_edge.cpp.o"
+  "CMakeFiles/bench_diagonal_vs_edge.dir/bench_diagonal_vs_edge.cpp.o.d"
+  "bench_diagonal_vs_edge"
+  "bench_diagonal_vs_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_diagonal_vs_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

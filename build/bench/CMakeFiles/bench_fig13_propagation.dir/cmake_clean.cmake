@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_propagation.dir/bench_fig13_propagation.cpp.o"
+  "CMakeFiles/bench_fig13_propagation.dir/bench_fig13_propagation.cpp.o.d"
+  "bench_fig13_propagation"
+  "bench_fig13_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_indoor.dir/bench_fig5_indoor.cpp.o"
+  "CMakeFiles/bench_fig5_indoor.dir/bench_fig5_indoor.cpp.o.d"
+  "bench_fig5_indoor"
+  "bench_fig5_indoor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_indoor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

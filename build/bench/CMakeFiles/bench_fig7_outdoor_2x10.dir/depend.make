@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_outdoor_2x10.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_active_radio.dir/bench_fig8_active_radio.cpp.o"
+  "CMakeFiles/bench_fig8_active_radio.dir/bench_fig8_active_radio.cpp.o.d"
+  "bench_fig8_active_radio"
+  "bench_fig8_active_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_active_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_art_no_initial_idle.dir/bench_fig9_art_no_initial_idle.cpp.o"
+  "CMakeFiles/bench_fig9_art_no_initial_idle.dir/bench_fig9_art_no_initial_idle.cpp.o.d"
+  "bench_fig9_art_no_initial_idle"
+  "bench_fig9_art_no_initial_idle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_art_no_initial_idle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lifetime_rounds.dir/bench_lifetime_rounds.cpp.o"
+  "CMakeFiles/bench_lifetime_rounds.dir/bench_lifetime_rounds.cpp.o.d"
+  "bench_lifetime_rounds"
+  "bench_lifetime_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lifetime_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prewave_wakeup.dir/bench_prewave_wakeup.cpp.o"
+  "CMakeFiles/bench_prewave_wakeup.dir/bench_prewave_wakeup.cpp.o.d"
+  "bench_prewave_wakeup"
+  "bench_prewave_wakeup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prewave_wakeup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

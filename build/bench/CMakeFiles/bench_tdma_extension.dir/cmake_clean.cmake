@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tdma_extension.dir/bench_tdma_extension.cpp.o"
+  "CMakeFiles/bench_tdma_extension.dir/bench_tdma_extension.cpp.o.d"
+  "bench_tdma_extension"
+  "bench_tdma_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tdma_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

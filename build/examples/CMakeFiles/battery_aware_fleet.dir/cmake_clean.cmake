@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_aware_fleet.dir/battery_aware_fleet.cpp.o"
+  "CMakeFiles/battery_aware_fleet.dir/battery_aware_fleet.cpp.o.d"
+  "battery_aware_fleet"
+  "battery_aware_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_aware_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

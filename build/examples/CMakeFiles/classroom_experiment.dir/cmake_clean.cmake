@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classroom_experiment.dir/classroom_experiment.cpp.o"
+  "CMakeFiles/classroom_experiment.dir/classroom_experiment.cpp.o.d"
+  "classroom_experiment"
+  "classroom_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classroom_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

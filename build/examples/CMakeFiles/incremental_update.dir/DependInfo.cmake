@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/incremental_update.cpp" "examples/CMakeFiles/incremental_update.dir/incremental_update.cpp.o" "gcc" "examples/CMakeFiles/incremental_update.dir/incremental_update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnp_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_diff.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

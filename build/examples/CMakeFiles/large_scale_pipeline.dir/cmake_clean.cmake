@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/large_scale_pipeline.dir/large_scale_pipeline.cpp.o"
+  "CMakeFiles/large_scale_pipeline.dir/large_scale_pipeline.cpp.o.d"
+  "large_scale_pipeline"
+  "large_scale_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/large_scale_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

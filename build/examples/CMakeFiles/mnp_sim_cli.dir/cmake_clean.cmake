@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_sim_cli.dir/mnp_sim_cli.cpp.o"
+  "CMakeFiles/mnp_sim_cli.dir/mnp_sim_cli.cpp.o.d"
+  "mnp_sim_cli"
+  "mnp_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subset_dissemination.dir/subset_dissemination.cpp.o"
+  "CMakeFiles/subset_dissemination.dir/subset_dissemination.cpp.o.d"
+  "subset_dissemination"
+  "subset_dissemination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subset_dissemination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_baselines.dir/baselines/deluge_node.cpp.o"
+  "CMakeFiles/mnp_baselines.dir/baselines/deluge_node.cpp.o.d"
+  "CMakeFiles/mnp_baselines.dir/baselines/moap_node.cpp.o"
+  "CMakeFiles/mnp_baselines.dir/baselines/moap_node.cpp.o.d"
+  "CMakeFiles/mnp_baselines.dir/baselines/xnp_node.cpp.o"
+  "CMakeFiles/mnp_baselines.dir/baselines/xnp_node.cpp.o.d"
+  "libmnp_baselines.a"
+  "libmnp_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

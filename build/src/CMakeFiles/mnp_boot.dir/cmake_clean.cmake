@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_boot.dir/boot/boot_manager.cpp.o"
+  "CMakeFiles/mnp_boot.dir/boot/boot_manager.cpp.o.d"
+  "libmnp_boot.a"
+  "libmnp_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

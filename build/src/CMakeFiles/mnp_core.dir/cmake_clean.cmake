@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_core.dir/mnp/mnp_config.cpp.o"
+  "CMakeFiles/mnp_core.dir/mnp/mnp_config.cpp.o.d"
+  "CMakeFiles/mnp_core.dir/mnp/mnp_node.cpp.o"
+  "CMakeFiles/mnp_core.dir/mnp/mnp_node.cpp.o.d"
+  "CMakeFiles/mnp_core.dir/mnp/program_image.cpp.o"
+  "CMakeFiles/mnp_core.dir/mnp/program_image.cpp.o.d"
+  "libmnp_core.a"
+  "libmnp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

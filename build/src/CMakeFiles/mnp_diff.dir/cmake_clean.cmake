@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_diff.dir/diff/delta.cpp.o"
+  "CMakeFiles/mnp_diff.dir/diff/delta.cpp.o.d"
+  "libmnp_diff.a"
+  "libmnp_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_energy.dir/energy/energy_meter.cpp.o"
+  "CMakeFiles/mnp_energy.dir/energy/energy_meter.cpp.o.d"
+  "CMakeFiles/mnp_energy.dir/energy/energy_model.cpp.o"
+  "CMakeFiles/mnp_energy.dir/energy/energy_model.cpp.o.d"
+  "libmnp_energy.a"
+  "libmnp_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_harness.dir/harness/csv.cpp.o"
+  "CMakeFiles/mnp_harness.dir/harness/csv.cpp.o.d"
+  "CMakeFiles/mnp_harness.dir/harness/experiment.cpp.o"
+  "CMakeFiles/mnp_harness.dir/harness/experiment.cpp.o.d"
+  "CMakeFiles/mnp_harness.dir/harness/metrics.cpp.o"
+  "CMakeFiles/mnp_harness.dir/harness/metrics.cpp.o.d"
+  "CMakeFiles/mnp_harness.dir/harness/report.cpp.o"
+  "CMakeFiles/mnp_harness.dir/harness/report.cpp.o.d"
+  "CMakeFiles/mnp_harness.dir/harness/sweep.cpp.o"
+  "CMakeFiles/mnp_harness.dir/harness/sweep.cpp.o.d"
+  "libmnp_harness.a"
+  "libmnp_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

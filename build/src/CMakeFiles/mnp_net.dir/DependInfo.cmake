@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/CMakeFiles/mnp_net.dir/net/channel.cpp.o" "gcc" "src/CMakeFiles/mnp_net.dir/net/channel.cpp.o.d"
+  "/root/repo/src/net/codec.cpp" "src/CMakeFiles/mnp_net.dir/net/codec.cpp.o" "gcc" "src/CMakeFiles/mnp_net.dir/net/codec.cpp.o.d"
+  "/root/repo/src/net/csma_mac.cpp" "src/CMakeFiles/mnp_net.dir/net/csma_mac.cpp.o" "gcc" "src/CMakeFiles/mnp_net.dir/net/csma_mac.cpp.o.d"
+  "/root/repo/src/net/link_model.cpp" "src/CMakeFiles/mnp_net.dir/net/link_model.cpp.o" "gcc" "src/CMakeFiles/mnp_net.dir/net/link_model.cpp.o.d"
+  "/root/repo/src/net/packet.cpp" "src/CMakeFiles/mnp_net.dir/net/packet.cpp.o" "gcc" "src/CMakeFiles/mnp_net.dir/net/packet.cpp.o.d"
+  "/root/repo/src/net/radio.cpp" "src/CMakeFiles/mnp_net.dir/net/radio.cpp.o" "gcc" "src/CMakeFiles/mnp_net.dir/net/radio.cpp.o.d"
+  "/root/repo/src/net/tdma_mac.cpp" "src/CMakeFiles/mnp_net.dir/net/tdma_mac.cpp.o" "gcc" "src/CMakeFiles/mnp_net.dir/net/tdma_mac.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/mnp_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/mnp_net.dir/net/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

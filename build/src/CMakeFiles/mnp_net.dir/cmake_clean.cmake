@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_net.dir/net/channel.cpp.o"
+  "CMakeFiles/mnp_net.dir/net/channel.cpp.o.d"
+  "CMakeFiles/mnp_net.dir/net/codec.cpp.o"
+  "CMakeFiles/mnp_net.dir/net/codec.cpp.o.d"
+  "CMakeFiles/mnp_net.dir/net/csma_mac.cpp.o"
+  "CMakeFiles/mnp_net.dir/net/csma_mac.cpp.o.d"
+  "CMakeFiles/mnp_net.dir/net/link_model.cpp.o"
+  "CMakeFiles/mnp_net.dir/net/link_model.cpp.o.d"
+  "CMakeFiles/mnp_net.dir/net/packet.cpp.o"
+  "CMakeFiles/mnp_net.dir/net/packet.cpp.o.d"
+  "CMakeFiles/mnp_net.dir/net/radio.cpp.o"
+  "CMakeFiles/mnp_net.dir/net/radio.cpp.o.d"
+  "CMakeFiles/mnp_net.dir/net/tdma_mac.cpp.o"
+  "CMakeFiles/mnp_net.dir/net/tdma_mac.cpp.o.d"
+  "CMakeFiles/mnp_net.dir/net/topology.cpp.o"
+  "CMakeFiles/mnp_net.dir/net/topology.cpp.o.d"
+  "libmnp_net.a"
+  "libmnp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/application.cpp" "src/CMakeFiles/mnp_node.dir/node/application.cpp.o" "gcc" "src/CMakeFiles/mnp_node.dir/node/application.cpp.o.d"
+  "/root/repo/src/node/network.cpp" "src/CMakeFiles/mnp_node.dir/node/network.cpp.o" "gcc" "src/CMakeFiles/mnp_node.dir/node/network.cpp.o.d"
+  "/root/repo/src/node/node.cpp" "src/CMakeFiles/mnp_node.dir/node/node.cpp.o" "gcc" "src/CMakeFiles/mnp_node.dir/node/node.cpp.o.d"
+  "/root/repo/src/node/stats.cpp" "src/CMakeFiles/mnp_node.dir/node/stats.cpp.o" "gcc" "src/CMakeFiles/mnp_node.dir/node/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mnp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mnp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

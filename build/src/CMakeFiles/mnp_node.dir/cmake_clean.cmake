@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_node.dir/node/application.cpp.o"
+  "CMakeFiles/mnp_node.dir/node/application.cpp.o.d"
+  "CMakeFiles/mnp_node.dir/node/network.cpp.o"
+  "CMakeFiles/mnp_node.dir/node/network.cpp.o.d"
+  "CMakeFiles/mnp_node.dir/node/node.cpp.o"
+  "CMakeFiles/mnp_node.dir/node/node.cpp.o.d"
+  "CMakeFiles/mnp_node.dir/node/stats.cpp.o"
+  "CMakeFiles/mnp_node.dir/node/stats.cpp.o.d"
+  "libmnp_node.a"
+  "libmnp_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

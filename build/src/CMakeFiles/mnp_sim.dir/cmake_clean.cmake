@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_sim.dir/sim/rng.cpp.o"
+  "CMakeFiles/mnp_sim.dir/sim/rng.cpp.o.d"
+  "CMakeFiles/mnp_sim.dir/sim/scheduler.cpp.o"
+  "CMakeFiles/mnp_sim.dir/sim/scheduler.cpp.o.d"
+  "CMakeFiles/mnp_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/mnp_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/mnp_sim.dir/sim/time.cpp.o"
+  "CMakeFiles/mnp_sim.dir/sim/time.cpp.o.d"
+  "libmnp_sim.a"
+  "libmnp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_storage.dir/storage/eeprom.cpp.o"
+  "CMakeFiles/mnp_storage.dir/storage/eeprom.cpp.o.d"
+  "libmnp_storage.a"
+  "libmnp_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

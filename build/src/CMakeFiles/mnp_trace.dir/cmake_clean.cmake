@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_trace.dir/trace/event_log.cpp.o"
+  "CMakeFiles/mnp_trace.dir/trace/event_log.cpp.o.d"
+  "libmnp_trace.a"
+  "libmnp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

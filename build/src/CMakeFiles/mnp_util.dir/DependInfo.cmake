@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/ascii_grid.cpp" "src/CMakeFiles/mnp_util.dir/util/ascii_grid.cpp.o" "gcc" "src/CMakeFiles/mnp_util.dir/util/ascii_grid.cpp.o.d"
+  "/root/repo/src/util/bitmap.cpp" "src/CMakeFiles/mnp_util.dir/util/bitmap.cpp.o" "gcc" "src/CMakeFiles/mnp_util.dir/util/bitmap.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "src/CMakeFiles/mnp_util.dir/util/crc32.cpp.o" "gcc" "src/CMakeFiles/mnp_util.dir/util/crc32.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/mnp_util.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/mnp_util.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/mnp_util.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/mnp_util.dir/util/log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

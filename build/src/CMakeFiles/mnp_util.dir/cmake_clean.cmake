@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnp_util.dir/util/ascii_grid.cpp.o"
+  "CMakeFiles/mnp_util.dir/util/ascii_grid.cpp.o.d"
+  "CMakeFiles/mnp_util.dir/util/bitmap.cpp.o"
+  "CMakeFiles/mnp_util.dir/util/bitmap.cpp.o.d"
+  "CMakeFiles/mnp_util.dir/util/crc32.cpp.o"
+  "CMakeFiles/mnp_util.dir/util/crc32.cpp.o.d"
+  "CMakeFiles/mnp_util.dir/util/histogram.cpp.o"
+  "CMakeFiles/mnp_util.dir/util/histogram.cpp.o.d"
+  "CMakeFiles/mnp_util.dir/util/log.cpp.o"
+  "CMakeFiles/mnp_util.dir/util/log.cpp.o.d"
+  "libmnp_util.a"
+  "libmnp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ascii_grid.dir/test_ascii_grid.cpp.o"
+  "CMakeFiles/test_ascii_grid.dir/test_ascii_grid.cpp.o.d"
+  "test_ascii_grid"
+  "test_ascii_grid.pdb"
+  "test_ascii_grid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ascii_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

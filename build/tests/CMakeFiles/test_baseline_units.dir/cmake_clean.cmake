@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_baseline_units.dir/test_baseline_units.cpp.o"
+  "CMakeFiles/test_baseline_units.dir/test_baseline_units.cpp.o.d"
+  "test_baseline_units"
+  "test_baseline_units.pdb"
+  "test_baseline_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_baseline_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csma_mac.dir/test_csma_mac.cpp.o"
+  "CMakeFiles/test_csma_mac.dir/test_csma_mac.cpp.o.d"
+  "test_csma_mac"
+  "test_csma_mac.pdb"
+  "test_csma_mac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csma_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

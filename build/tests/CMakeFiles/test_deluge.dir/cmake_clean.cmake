@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deluge.dir/test_deluge.cpp.o"
+  "CMakeFiles/test_deluge.dir/test_deluge.cpp.o.d"
+  "test_deluge"
+  "test_deluge.pdb"
+  "test_deluge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deluge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

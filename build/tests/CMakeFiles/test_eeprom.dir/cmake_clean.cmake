@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eeprom.dir/test_eeprom.cpp.o"
+  "CMakeFiles/test_eeprom.dir/test_eeprom.cpp.o.d"
+  "test_eeprom"
+  "test_eeprom.pdb"
+  "test_eeprom[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eeprom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

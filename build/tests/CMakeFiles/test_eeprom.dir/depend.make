@@ -1,0 +1,2 @@
+# Empty dependencies file for test_eeprom.
+# This may be replaced when dependencies are built.

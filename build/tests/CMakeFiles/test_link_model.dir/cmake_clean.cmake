@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_link_model.dir/test_link_model.cpp.o"
+  "CMakeFiles/test_link_model.dir/test_link_model.cpp.o.d"
+  "test_link_model"
+  "test_link_model.pdb"
+  "test_link_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_link_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mnp_pipeline_rules.dir/test_mnp_pipeline_rules.cpp.o"
+  "CMakeFiles/test_mnp_pipeline_rules.dir/test_mnp_pipeline_rules.cpp.o.d"
+  "test_mnp_pipeline_rules"
+  "test_mnp_pipeline_rules.pdb"
+  "test_mnp_pipeline_rules[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mnp_pipeline_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mnp_properties.dir/test_mnp_properties.cpp.o"
+  "CMakeFiles/test_mnp_properties.dir/test_mnp_properties.cpp.o.d"
+  "test_mnp_properties"
+  "test_mnp_properties.pdb"
+  "test_mnp_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mnp_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

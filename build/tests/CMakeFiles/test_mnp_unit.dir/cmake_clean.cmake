@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mnp_unit.dir/test_mnp_unit.cpp.o"
+  "CMakeFiles/test_mnp_unit.dir/test_mnp_unit.cpp.o.d"
+  "test_mnp_unit"
+  "test_mnp_unit.pdb"
+  "test_mnp_unit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mnp_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

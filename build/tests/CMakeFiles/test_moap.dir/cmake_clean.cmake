@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_moap.dir/test_moap.cpp.o"
+  "CMakeFiles/test_moap.dir/test_moap.cpp.o.d"
+  "test_moap"
+  "test_moap.pdb"
+  "test_moap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_moap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tdma_mac.dir/test_tdma_mac.cpp.o"
+  "CMakeFiles/test_tdma_mac.dir/test_tdma_mac.cpp.o.d"
+  "test_tdma_mac"
+  "test_tdma_mac.pdb"
+  "test_tdma_mac[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tdma_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xnp.dir/test_xnp.cpp.o"
+  "CMakeFiles/test_xnp.dir/test_xnp.cpp.o.d"
+  "test_xnp"
+  "test_xnp.pdb"
+  "test_xnp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xnp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

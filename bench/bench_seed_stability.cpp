@@ -7,19 +7,35 @@
 // We repeat the headline 10x10 / 2-segment run across 10 seeds and report
 // the spread of every metric, plus the reliability count (every run must
 // reach 100% delivery — the paper's hard requirement).
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "harness/sweep.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mnp;
-  std::cout << "=== Seed stability: MNP 10x10, 2 segments, 10 seeds ===\n\n";
+  std::size_t runs = 10;
+  harness::SweepOptions options;  // jobs defaults to MNP_SWEEP_JOBS
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--jobs") && i + 1 < argc) {
+      options.jobs = std::stoul(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--runs") && i + 1 < argc) {
+      runs = std::stoul(argv[++i]);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--runs N] [--jobs N]\n";
+      return 2;
+    }
+  }
+  std::cout << "=== Seed stability: MNP 10x10, 2 segments, " << runs
+            << " seeds, " << harness::resolve_sweep_jobs(options.jobs)
+            << " job(s) ===\n\n";
   harness::ExperimentConfig cfg;
   cfg.rows = 10;
   cfg.cols = 10;
   cfg.set_program_segments(2);
   cfg.max_sim_time = sim::hours(4);
-  const auto sweep = harness::run_sweep(cfg, 10, /*first_seed=*/100);
+  const auto sweep = harness::run_sweep(cfg, runs, /*first_seed=*/100, options);
 
   std::cout << "runs fully completed: " << sweep.fully_completed_runs << "/"
             << sweep.runs << "  (reliability requirement: must be all)\n\n";

@@ -6,10 +6,12 @@
 //               [--seed N] [--mac csma|tdma] [--no-pipelining]
 //               [--no-query-update] [--battery-aware] [--duty-cycle F]
 //               [--disk-links] [--csv PREFIX] [--quiet]
+//               [--runs N] [--jobs N]
 //
 // Examples:
 //   mnp_sim_cli --rows 20 --cols 20 --segments 5            # the Fig.-8 run
 //   mnp_sim_cli --protocol deluge --segments 2 --csv out/d  # CSVs for plots
+//   mnp_sim_cli --runs 10 --jobs 4    # 10-seed sweep on 4 worker threads
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -18,6 +20,7 @@
 #include "harness/csv.hpp"
 #include "harness/experiment.hpp"
 #include "harness/report.hpp"
+#include "harness/sweep.hpp"
 
 namespace {
 
@@ -38,7 +41,11 @@ namespace {
       << "  --duty-cycle F                   pre-wave duty cycle (0..1)\n"
       << "  --disk-links                     ideal disk links (no loss)\n"
       << "  --csv PREFIX                     write PREFIX.{nodes,timeline,summary}.csv\n"
-      << "  --quiet                          summary only (no maps)\n";
+      << "  --quiet                          summary only (no maps)\n"
+      << "  --runs N                         sweep N seeds (starting at --seed)\n"
+      << "  --jobs N                         sweep worker threads (default: \n"
+      << "                                   MNP_SWEEP_JOBS, else 1; results\n"
+      << "                                   are identical for any N)\n";
   std::exit(2);
 }
 
@@ -49,6 +56,8 @@ int main(int argc, char** argv) {
   harness::ExperimentConfig cfg;
   std::string csv_prefix;
   bool quiet = false;
+  std::size_t runs = 1;
+  std::size_t jobs = 0;  // 0 = resolve via MNP_SWEEP_JOBS
 
   auto need_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) usage(argv[0]);
@@ -107,15 +116,42 @@ int main(int argc, char** argv) {
       csv_prefix = need_value(i);
     } else if (!std::strcmp(arg, "--quiet")) {
       quiet = true;
+    } else if (!std::strcmp(arg, "--runs")) {
+      runs = std::stoul(need_value(i));
+    } else if (!std::strcmp(arg, "--jobs")) {
+      jobs = std::stoul(need_value(i));
     } else {
       usage(argv[0]);
     }
   }
 
-  const auto result = harness::run_experiment(cfg);
   const std::string title = std::string(harness::protocol_name(cfg.protocol)) +
                             " " + std::to_string(cfg.rows) + "x" +
                             std::to_string(cfg.cols);
+
+  if (runs > 1) {
+    harness::SweepOptions options;
+    options.jobs = jobs;
+    const auto sweep = harness::run_sweep(cfg, runs, cfg.seed, options);
+    std::cout << "=== " << title << " sweep: " << runs << " seeds (first "
+              << cfg.seed << "), " << harness::resolve_sweep_jobs(jobs)
+              << " job(s) ===\n\n";
+    std::cout << "runs fully completed: " << sweep.fully_completed_runs << "/"
+              << sweep.runs << "\n";
+    std::cout << "completion time (s): "
+              << harness::format_stat(sweep.completion_s) << "\n";
+    std::cout << "avg ART (s):         "
+              << harness::format_stat(sweep.avg_art_s) << "\n";
+    std::cout << "msgs/node:           "
+              << harness::format_stat(sweep.avg_msgs) << "\n";
+    std::cout << "collisions:          "
+              << harness::format_stat(sweep.collisions, 0) << "\n";
+    std::cout << "energy/node (nAh):   "
+              << harness::format_stat(sweep.energy_per_node_nah, 0) << "\n";
+    return sweep.fully_completed_runs == sweep.runs ? 0 : 1;
+  }
+
+  const auto result = harness::run_experiment(cfg);
   harness::print_summary(std::cout, title.c_str(), result);
   if (!quiet) {
     std::cout << "\n";

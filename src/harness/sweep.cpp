@@ -1,7 +1,14 @@
 #include "harness/sweep.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
 #include <set>
+#include <thread>
+#include <utility>
 
 namespace mnp::harness {
 
@@ -15,30 +22,101 @@ std::size_t count_effective_senders(const RunResult& r) {
   return parents.size();
 }
 
+void accumulate(SweepResult& sweep, RunResult r, bool keep_raw) {
+  if (r.all_completed) {
+    ++sweep.fully_completed_runs;
+    sweep.completion_s.add(sim::to_seconds(r.completion_time));
+  }
+  sweep.avg_art_s.add(r.avg_active_radio_s());
+  sweep.avg_art_post_adv_s.add(r.avg_active_radio_after_adv_s());
+  sweep.avg_msgs.add(r.avg_messages_sent());
+  sweep.collisions.add(static_cast<double>(r.collisions));
+  sweep.bulk_overlaps.add(static_cast<double>(r.bulk_overlaps));
+  sweep.energy_per_node_nah.add(r.total_energy_nah() /
+                                static_cast<double>(r.nodes.size()));
+  sweep.effective_senders.add(static_cast<double>(count_effective_senders(r)));
+  if (keep_raw) sweep.raw.push_back(std::move(r));
+}
+
 }  // namespace
+
+std::size_t resolve_sweep_jobs(std::size_t requested) {
+  if (requested != 0) return requested;
+  const char* env = std::getenv("MNP_SWEEP_JOBS");
+  if (!env || !*env) return 1;
+  const std::string value(env);
+  const auto hw = [] {
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? static_cast<std::size_t>(n) : std::size_t{1};
+  };
+  if (value == "auto" || value == "0") return hw();
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || parsed == 0) return 1;
+  return static_cast<std::size_t>(parsed);
+}
+
+SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
+                      std::uint64_t first_seed, const SweepOptions& options) {
+  SweepResult sweep;
+  sweep.runs = runs;
+  if (runs == 0) return sweep;
+
+  const std::size_t jobs =
+      std::min(std::max<std::size_t>(resolve_sweep_jobs(options.jobs), 1), runs);
+
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < runs; ++i) {
+      cfg.seed = first_seed + i;
+      accumulate(sweep, run_experiment(cfg), options.keep_raw);
+    }
+    return sweep;
+  }
+
+  // Fan the seeds out over a worker pool. Each worker claims the next
+  // unstarted seed, builds a fully private Simulator (run_experiment shares
+  // nothing mutable across runs) and deposits the result in its seed's
+  // slot. Aggregation below walks the slots in seed order, so the merged
+  // statistics are bit-identical to the jobs=1 path.
+  std::vector<RunResult> results(runs);
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= runs || failed.load(std::memory_order_relaxed)) return;
+      ExperimentConfig run_cfg = cfg;
+      run_cfg.seed = first_seed + i;
+      try {
+        results[i] = run_experiment(run_cfg);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (std::size_t i = 0; i < runs; ++i) {
+    accumulate(sweep, std::move(results[i]), options.keep_raw);
+  }
+  return sweep;
+}
 
 SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
                       std::uint64_t first_seed, bool keep_raw) {
-  SweepResult sweep;
-  sweep.runs = runs;
-  for (std::size_t i = 0; i < runs; ++i) {
-    cfg.seed = first_seed + i;
-    RunResult r = run_experiment(cfg);
-    if (r.all_completed) {
-      ++sweep.fully_completed_runs;
-      sweep.completion_s.add(sim::to_seconds(r.completion_time));
-    }
-    sweep.avg_art_s.add(r.avg_active_radio_s());
-    sweep.avg_art_post_adv_s.add(r.avg_active_radio_after_adv_s());
-    sweep.avg_msgs.add(r.avg_messages_sent());
-    sweep.collisions.add(static_cast<double>(r.collisions));
-    sweep.bulk_overlaps.add(static_cast<double>(r.bulk_overlaps));
-    sweep.energy_per_node_nah.add(r.total_energy_nah() /
-                                  static_cast<double>(r.nodes.size()));
-    sweep.effective_senders.add(static_cast<double>(count_effective_senders(r)));
-    if (keep_raw) sweep.raw.push_back(std::move(r));
-  }
-  return sweep;
+  SweepOptions options;
+  options.jobs = 0;  // defer to MNP_SWEEP_JOBS
+  options.keep_raw = keep_raw;
+  return run_sweep(std::move(cfg), runs, first_seed, options);
 }
 
 std::string format_stat(const util::RunningStats& s, int precision) {

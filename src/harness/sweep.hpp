@@ -2,9 +2,16 @@
 // stochastic system; re-running across seeds gives the mean and spread
 // (the authors note they "repeated our experiments several times" and saw
 // similar results — this makes that check a first-class operation).
+//
+// Seeds are embarrassingly parallel — each run owns a private Simulator,
+// RNG tree, network and stats — so the sweep can fan runs out over a
+// worker pool. Aggregation always happens on the calling thread in seed
+// order, which makes a parallel sweep *bit-identical* to a sequential one
+// (same RunningStats accumulation sequence, same `raw` vector order).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "harness/experiment.hpp"
@@ -29,10 +36,29 @@ struct SweepResult {
   std::vector<RunResult> raw;
 };
 
+struct SweepOptions {
+  /// Worker threads running seeds. 0 resolves through MNP_SWEEP_JOBS (see
+  /// resolve_sweep_jobs); 1 is the plain sequential path. Results are
+  /// identical for every value — only wall-clock time changes.
+  std::size_t jobs = 0;
+  /// Retain each RunResult in SweepResult::raw (memory!).
+  bool keep_raw = false;
+};
+
 /// Runs `cfg` once per seed in [first_seed, first_seed + runs) and
-/// aggregates. `keep_raw` retains each RunResult (memory!).
+/// aggregates deterministically in seed order.
+SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
+                      std::uint64_t first_seed, const SweepOptions& options);
+
+/// Compatibility overload; honours MNP_SWEEP_JOBS, so existing callers
+/// (every bench binary) pick up parallelism from the environment.
 SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
                       std::uint64_t first_seed = 1, bool keep_raw = false);
+
+/// Resolves a jobs request: non-zero passes through; 0 consults the
+/// MNP_SWEEP_JOBS environment variable ("auto" or "0" = hardware
+/// concurrency, a number = that many workers, unset/garbage = 1).
+std::size_t resolve_sweep_jobs(std::size_t requested);
 
 /// "mean +/- stddev [min, max]" rendering for bench tables.
 std::string format_stat(const util::RunningStats& s, int precision = 1);

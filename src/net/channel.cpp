@@ -31,16 +31,65 @@ sim::Time Channel::airtime(const Packet& pkt) const {
   return static_cast<sim::Time>(bits / params_.bitrate_bps * 1e6);
 }
 
+const Channel::ScaleCache& Channel::cache_for(double power_scale) const {
+  for (const auto& c : scales_) {
+    if (c->power_scale == power_scale) return *c;
+  }
+  // First packet at this power scale: materialize the neighbor sets. One
+  // O(N^2) pass buys O(degree) for every subsequent transmission.
+  auto cache = std::make_unique<ScaleCache>();
+  cache->power_scale = power_scale;
+  const std::size_t n = topo_.size();
+  cache->neighbors.resize(n);
+  cache->success.resize(n);
+  cache->reach_bits.assign((n * n + 63) / 64, 0);
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const NodeId s = static_cast<NodeId>(src);
+      const NodeId d = static_cast<NodeId>(dst);
+      if (!links_.interferes(s, d, power_scale)) continue;
+      cache->neighbors[src].push_back(d);
+      cache->success[src].push_back(links_.packet_success(s, d, power_scale));
+      const std::size_t bit = src * n + dst;
+      cache->reach_bits[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+    }
+  }
+  scales_.push_back(std::move(cache));
+  return *scales_.back();
+}
+
 bool Channel::carrier_busy(NodeId listener) const {
+  if (params_.neighbor_cache) {
+    const std::size_t n = topo_.size();
+    for (const auto& tx : active_) {
+      if (tx->src == listener) return true;  // own transmission in flight
+      if (listener < n &&
+          cache_for(tx->pkt.power_scale).reaches(n, tx->src, listener)) {
+        return true;
+      }
+    }
+    return false;
+  }
   for (const auto& tx : active_) {
-    if (tx->src == listener) return true;  // own transmission in flight
+    if (tx->src == listener) return true;
     if (links_.interferes(tx->src, listener, tx->pkt.power_scale)) return true;
   }
   return false;
 }
 
-void Channel::corrupt(Active& tx, std::size_t candidate_index) {
+void Channel::corrupt_candidate(Active& tx, std::size_t candidate_index) {
   tx.corrupted[candidate_index] = true;
+}
+
+void Channel::corrupt_listener(Active& tx, NodeId id) {
+  // Candidate lists are ascending in both the cached and the brute-force
+  // path, so membership is a binary search, not a scan.
+  const auto it =
+      std::lower_bound(tx.candidates.begin(), tx.candidates.end(), id);
+  if (it != tx.candidates.end() && *it == id) {
+    corrupt_candidate(
+        tx, static_cast<std::size_t>(it - tx.candidates.begin()));
+  }
 }
 
 void Channel::begin_transmission(NodeId src, Packet pkt) {
@@ -54,32 +103,64 @@ void Channel::begin_transmission(NodeId src, Packet pkt) {
   if (observer_) observer_->on_transmit(src, tx->pkt, sim_.now());
 
   // Candidate receivers: every node currently listening whose radio hears
-  // this source at all (interference reach, not just decode reach).
-  for (NodeId n = 0; n < radios_.size(); ++n) {
-    Radio* r = radios_[n];
-    if (!r || n == src || !r->is_listening()) continue;
-    if (!links_.interferes(src, n, tx->pkt.power_scale)) continue;
-    tx->candidates.push_back(n);
-    tx->corrupted.push_back(false);
+  // this source at all (interference reach, not just decode reach). The
+  // decode probability rides along so delivery never re-queries the link
+  // model. Both paths enumerate in ascending node order.
+  const std::size_t n = topo_.size();
+  const ScaleCache* tx_cache = nullptr;
+  if (params_.neighbor_cache) {
+    tx_cache = &cache_for(tx->pkt.power_scale);
+    if (src < n) {
+      const auto& neighbors = tx_cache->neighbors[src];
+      const auto& success = tx_cache->success[src];
+      tx->candidates.reserve(neighbors.size());
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const NodeId id = neighbors[i];
+        Radio* r = id < radios_.size() ? radios_[id] : nullptr;
+        if (!r || !r->is_listening()) continue;
+        tx->candidates.push_back(id);
+        tx->success.push_back(success[i]);
+        tx->corrupted.push_back(false);
+      }
+    }
+  } else {
+    for (NodeId id = 0; id < radios_.size(); ++id) {
+      Radio* r = radios_[id];
+      if (!r || id == src || !r->is_listening()) continue;
+      if (!links_.interferes(src, id, tx->pkt.power_scale)) continue;
+      tx->candidates.push_back(id);
+      tx->success.push_back(
+          links_.packet_success(src, id, tx->pkt.power_scale));
+      tx->corrupted.push_back(false);
+    }
   }
 
   // Cross-corruption with every transmission already in flight: a listener
   // reached by both sources decodes neither packet.
   for (const auto& other : active_) {
+    const ScaleCache* other_cache =
+        params_.neighbor_cache ? &cache_for(other->pkt.power_scale) : nullptr;
+    const auto other_reaches = [&](NodeId at) {
+      return other_cache
+                 ? other_cache->reaches(n, other->src, at)
+                 : links_.interferes(other->src, at, other->pkt.power_scale);
+    };
+    const auto tx_reaches = [&](NodeId at) {
+      return tx_cache ? tx_cache->reaches(n, src, at)
+                      : links_.interferes(src, at, tx->pkt.power_scale);
+    };
     for (std::size_t i = 0; i < tx->candidates.size(); ++i) {
       const NodeId r = tx->candidates[i];
-      if (!tx->corrupted[i] &&
-          links_.interferes(other->src, r, other->pkt.power_scale)) {
-        corrupt(*tx, i);
+      if (!tx->corrupted[i] && other_reaches(r)) {
+        corrupt_candidate(*tx, i);
         ++collisions_;
         if (observer_) observer_->on_collision(r, sim_.now());
       }
     }
     for (std::size_t i = 0; i < other->candidates.size(); ++i) {
       const NodeId r = other->candidates[i];
-      if (!other->corrupted[i] &&
-          links_.interferes(src, r, tx->pkt.power_scale)) {
-        corrupt(*other, i);
+      if (!other->corrupted[i] && tx_reaches(r)) {
+        corrupt_candidate(*other, i);
         ++collisions_;
         if (observer_) observer_->on_collision(r, sim_.now());
       }
@@ -88,13 +169,11 @@ void Channel::begin_transmission(NodeId src, Packet pkt) {
     // any neighborhood"): two overlapping code transmissions whose sources
     // interfere with each other or share a reachable listener.
     if (tx->bulk && other->bulk) {
-      const bool mutual =
-          links_.interferes(src, other->src, tx->pkt.power_scale) ||
-          links_.interferes(other->src, src, other->pkt.power_scale);
+      const bool mutual = tx_reaches(other->src) || other_reaches(src);
       bool shared_victim = false;
       if (!mutual) {
         for (const NodeId r : tx->candidates) {
-          if (links_.interferes(other->src, r, other->pkt.power_scale)) {
+          if (other_reaches(r)) {
             shared_victim = true;
             break;
           }
@@ -104,30 +183,36 @@ void Channel::begin_transmission(NodeId src, Packet pkt) {
     }
   }
 
+  tx->index = active_.size();
   active_.push_back(tx);
-  sim_.scheduler().schedule_at(tx->end, [this, tx] { end_transmission(tx); });
+  sim_.scheduler().post_at(tx->end, [this, tx] { end_transmission(tx); });
 }
 
 void Channel::radio_stopped_listening(NodeId id) {
   for (const auto& tx : active_) {
-    for (std::size_t i = 0; i < tx->candidates.size(); ++i) {
-      if (tx->candidates[i] == id) {
-        // Mid-packet loss of the listener: the packet is gone for it.
-        corrupt(*tx, i);
-      }
-    }
+    // Mid-packet loss of the listener: the packet is gone for it.
+    corrupt_listener(*tx, id);
   }
 }
 
+void Channel::unlink_active(const std::shared_ptr<Active>& tx) {
+  const std::size_t idx = tx->index;
+  const std::size_t last = active_.size() - 1;
+  if (idx != last) {
+    active_[idx] = std::move(active_[last]);
+    active_[idx]->index = idx;
+  }
+  active_.pop_back();
+}
+
 void Channel::end_transmission(const std::shared_ptr<Active>& tx) {
-  active_.erase(std::remove(active_.begin(), active_.end(), tx), active_.end());
+  unlink_active(tx);
   for (std::size_t i = 0; i < tx->candidates.size(); ++i) {
     if (tx->corrupted[i]) continue;
     const NodeId r = tx->candidates[i];
     Radio* radio = radios_[r];
     if (!radio || !radio->is_listening()) continue;
-    const double p = links_.packet_success(tx->src, r, tx->pkt.power_scale);
-    if (!rng_.bernoulli(p)) continue;
+    if (!rng_.bernoulli(tx->success[i])) continue;
     ++deliveries_;
     if (observer_) observer_->on_deliver(tx->src, r, tx->pkt, sim_.now());
     radio->deliver(tx->pkt);

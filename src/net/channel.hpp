@@ -14,10 +14,22 @@
 //
 // A receiver must be listening when a packet *starts* (preamble) and keep
 // listening until it ends; going off / transmitting mid-packet drops it.
+//
+// Hot-path structure: link models are static for the lifetime of a run, so
+// the channel precomputes, per transmit power scale, each node's
+// interference neighbor set (with the decode success probability cached
+// per edge) plus a flat reachability bitset. begin_transmission,
+// carrier_busy and the cross-corruption checks then touch only actual
+// neighbors — O(degree) instead of O(N) — and reachability queries are a
+// single bit test. Caches build lazily on the first packet sent at a given
+// power scale (battery-aware runs use a handful of scales, everyone else
+// exactly one). The original brute-force scans are kept as a debug
+// reference behind Params::neighbor_cache=false; both paths enumerate
+// candidates in ascending node order, so they consume the RNG identically
+// and whole runs are bit-for-bit comparable.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -43,6 +55,10 @@ class Channel {
  public:
   struct Params {
     double bitrate_bps = 19200.0;  // Mica-2 CC1000 radio
+    /// Debug/reference switch: false reverts to the brute-force O(N)
+    /// scans the neighbor cache replaces. Equivalence-tested against the
+    /// cached path; keep it for diffing, never for production runs.
+    bool neighbor_cache = true;
   };
 
   Channel(sim::Simulator& sim, const Topology& topo, const LinkModel& links,
@@ -78,6 +94,8 @@ class Channel {
   std::uint64_t collisions() const { return collisions_; }
   /// Overlapping bulk-data sender pairs that shared a potential victim.
   std::uint64_t concurrent_bulk_overlaps() const { return bulk_overlaps_; }
+  /// Distinct power scales whose neighbor sets have been materialized.
+  std::size_t cached_power_scales() const { return scales_.size(); }
 
  private:
   struct Active {
@@ -86,12 +104,32 @@ class Channel {
     sim::Time start;
     sim::Time end;
     bool bulk;
-    std::vector<NodeId> candidates;  // listening-at-start, interfered nodes
+    std::size_t index;               // position in active_, for swap-pop
+    std::vector<NodeId> candidates;  // listening-at-start, interfered, ascending
+    std::vector<double> success;     // decode probability, parallel to candidates
     std::vector<bool> corrupted;     // parallel to candidates
   };
 
+  /// Neighbor sets + per-edge decode success for one power scale.
+  struct ScaleCache {
+    double power_scale = 1.0;
+    std::vector<std::vector<NodeId>> neighbors;  // ascending, per source
+    std::vector<std::vector<double>> success;    // parallel to neighbors
+    std::vector<std::uint64_t> reach_bits;       // n*n reachability bitset
+
+    bool reaches(std::size_t n, NodeId src, NodeId dst) const {
+      const std::size_t bit = static_cast<std::size_t>(src) * n + dst;
+      return (reach_bits[bit >> 6] >> (bit & 63)) & 1u;
+    }
+  };
+
+  const ScaleCache& cache_for(double power_scale) const;
+  void corrupt_candidate(Active& tx, std::size_t candidate_index);
+  /// Marks `id` corrupted in `tx` if it is a candidate (binary search —
+  /// candidate lists are ascending).
+  void corrupt_listener(Active& tx, NodeId id);
   void end_transmission(const std::shared_ptr<Active>& tx);
-  static void corrupt(Active& tx, std::size_t candidate_index);
+  void unlink_active(const std::shared_ptr<Active>& tx);
 
   sim::Simulator& sim_;
   const Topology& topo_;
@@ -100,6 +138,9 @@ class Channel {
   sim::Rng rng_;
   std::vector<Radio*> radios_;  // index = NodeId
   std::vector<std::shared_ptr<Active>> active_;
+  // Lazily built, small (one entry per distinct power scale seen); mutable
+  // so the const query paths can materialize a scale on first use.
+  mutable std::vector<std::unique_ptr<ScaleCache>> scales_;
   ChannelObserver* observer_ = nullptr;
 
   std::uint64_t transmissions_ = 0;

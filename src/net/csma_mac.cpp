@@ -87,7 +87,7 @@ void CsmaMac::transmission_finished() {
   ++packets_sent_;
   if (send_done_) send_done_(last_sent_);
   if (!queue_.empty()) {
-    scheduler_.schedule_after(params_.inter_packet_gap, [this] {
+    scheduler_.post_after(params_.inter_packet_gap, [this] {
       if (!in_flight_ && !queue_.empty() && !backoff_.pending()) {
         arm_backoff(false);
       }

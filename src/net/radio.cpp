@@ -41,7 +41,7 @@ bool Radio::start_transmission(Packet pkt) {
   meter_.count_tx_packet();
   const sim::Time airtime = channel_.airtime(pkt);
   channel_.begin_transmission(id_, std::move(pkt));
-  scheduler_.schedule_after(airtime, [this] { finish_transmission(); });
+  scheduler_.post_after(airtime, [this] { finish_transmission(); });
   return true;
 }
 

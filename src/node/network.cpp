@@ -28,7 +28,7 @@ void Network::boot_all(sim::Time max_jitter) {
   for (auto& n : nodes_) {
     const sim::Time offset = boot_rng.uniform_int(0, max_jitter);
     Node* raw = n.get();
-    sim_.scheduler().schedule_after(offset, [raw] { raw->boot(); });
+    sim_.scheduler().post_after(offset, [raw] { raw->boot(); });
   }
 }
 

@@ -1,18 +1,32 @@
 #include "sim/scheduler.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 #include <utility>
 
 namespace mnp::sim {
 
-EventHandle Scheduler::schedule_at(Time when, Action action) {
+void Scheduler::push(Time when, Action action, std::uint32_t slot,
+                     std::uint32_t gen) {
   if (when < now_) when = now_;
-  EventHandle handle;
-  handle.state_ = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{when, next_seq_++, std::move(action), handle.state_});
+  heap_.push_back(Entry{when, next_seq_++, slot, gen, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
-  return handle;
+}
+
+EventHandle Scheduler::schedule_at(Time when, Action action) {
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(Slot{});
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  }
+  const std::uint32_t gen = slots_[slot].gen;
+  push(when, std::move(action), slot, gen);
+  return EventHandle(this, slot, gen);
 }
 
 EventHandle Scheduler::schedule_after(Time delay, Action action) {
@@ -20,32 +34,82 @@ EventHandle Scheduler::schedule_after(Time delay, Action action) {
   return schedule_at(now_ + delay, std::move(action));
 }
 
-void Scheduler::prune_tombstones() {
-  while (!queue_.empty() && queue_.top().state->done) {
-    queue_.pop();
-    --live_;
+void Scheduler::post_at(Time when, Action action) {
+  push(when, std::move(action), kNoSlot, 0);
+}
+
+void Scheduler::post_after(Time delay, Action action) {
+  if (delay < 0) delay = 0;
+  post_at(now_ + delay, std::move(action));
+}
+
+void Scheduler::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
+  if (slot >= slots_.size()) return;
+  Slot& s = slots_[slot];
+  if (s.gen != gen || s.cancelled) return;
+  s.cancelled = true;
+  --live_;
+  ++tombstones_;
+  // Lazy-deletion bound: once tombstones dominate, sweep them all at once
+  // so a cancel-heavy workload cannot grow the heap past 2x the live set.
+  if (tombstones_ > 64 && tombstones_ * 2 > heap_.size()) compact();
+}
+
+Scheduler::Entry Scheduler::take_top() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+void Scheduler::release_slot(const Entry& entry) {
+  if (entry.slot == kNoSlot) return;
+  Slot& s = slots_[entry.slot];
+  assert(s.gen == entry.gen);
+  ++s.gen;  // invalidate outstanding handles before the slot is recycled
+  if (s.cancelled) {
+    s.cancelled = false;
+    --tombstones_;
   }
+  free_slots_.push_back(entry.slot);
+}
+
+void Scheduler::prune_tombstones() {
+  while (!heap_.empty() && entry_cancelled(heap_.front())) {
+    Entry e = take_top();
+    release_slot(e);
+  }
+}
+
+void Scheduler::compact() {
+  const auto keep_end = std::remove_if(
+      heap_.begin(), heap_.end(), [this](const Entry& e) {
+        if (!entry_cancelled(e)) return false;
+        release_slot(e);
+        return true;
+      });
+  heap_.erase(keep_end, heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 bool Scheduler::empty() {
   prune_tombstones();
-  return queue_.empty();
+  return heap_.empty();
 }
 
 Time Scheduler::next_event_time() {
   prune_tombstones();
-  return queue_.empty() ? kNever : queue_.top().when;
+  return heap_.empty() ? kNever : heap_.front().when;
 }
 
 std::uint64_t Scheduler::run_until(Time until) {
   std::uint64_t count = 0;
   for (;;) {
     prune_tombstones();
-    if (queue_.empty() || queue_.top().when > until) break;
-    Entry e = queue_.top();
-    queue_.pop();
+    if (heap_.empty() || heap_.front().when > until) break;
+    Entry e = take_top();
+    release_slot(e);
     --live_;
-    e.state->done = true;
     assert(e.when >= now_);
     now_ = e.when;
     ++executed_;
@@ -64,11 +128,10 @@ std::uint64_t Scheduler::run_until(Time until) {
 
 bool Scheduler::step() {
   prune_tombstones();
-  if (queue_.empty()) return false;
-  Entry e = queue_.top();
-  queue_.pop();
+  if (heap_.empty()) return false;
+  Entry e = take_top();
+  release_slot(e);
   --live_;
-  e.state->done = true;
   assert(e.when >= now_);
   now_ = e.when;
   ++executed_;

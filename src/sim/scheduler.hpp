@@ -1,42 +1,52 @@
 // Discrete event scheduler: the heart of the TOSSIM-like simulator.
 //
 // Events are closures ordered by (time, insertion sequence) so same-time
-// events run in a deterministic FIFO order. Cancellation is O(1) via a
-// shared tombstone flag; cancelled events are skipped when popped.
+// events run in a deterministic FIFO order.
+//
+// Cancellation never allocates: cancellable events borrow a slot from an
+// intrusive free-list of generation-counted states owned by the scheduler
+// (a handle is just {scheduler, slot, generation}), and fire-and-forget
+// events posted via `post_at`/`post_after` skip the slot entirely — the
+// common hot path (packet end-of-airtime, boot jitter, send-done) performs
+// zero bookkeeping allocations. Cancelled events are tombstones skipped
+// when popped; when more than half the queue is tombstones the heap is
+// compacted in one sweep, so cancelled-timer-heavy runs stay O(live).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/time.hpp"
 
 namespace mnp::sim {
 
+class Scheduler;
+
 /// Handle to a scheduled event. Copyable; all copies refer to the same
-/// event. A default-constructed handle refers to nothing.
+/// event. A default-constructed handle refers to nothing. Handles must not
+/// outlive the scheduler that issued them (in this codebase every handle
+/// owner also references the scheduler, so lifetimes already nest).
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True if the event is still queued (not fired, not cancelled).
-  bool pending() const { return state_ && !state_->done; }
+  inline bool pending() const;
 
   /// Cancels the event if still pending. Safe to call repeatedly, safe on a
   /// default-constructed handle, safe after the event fired.
-  void cancel() {
-    if (state_) state_->done = true;
-  }
+  inline void cancel();
 
  private:
   friend class Scheduler;
-  struct State {
-    bool done = false;
-  };
-  std::shared_ptr<State> state_;
+  EventHandle(Scheduler* owner, std::uint32_t slot, std::uint32_t gen)
+      : owner_(owner), slot_(slot), gen_(gen) {}
+
+  Scheduler* owner_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint32_t gen_ = 0;
 };
 
 class Scheduler {
@@ -49,11 +59,19 @@ class Scheduler {
   /// Schedules `action` `delay` microseconds from now (clamped to >= 0).
   EventHandle schedule_after(Time delay, Action action);
 
+  /// Fire-and-forget variants: no handle, no cancellation state. Use these
+  /// on hot paths that never cancel (the scheduler allocates nothing beyond
+  /// the queue entry itself).
+  void post_at(Time when, Action action);
+  void post_after(Time delay, Action action);
+
   Time now() const { return now_; }
   /// True when no live (non-cancelled) event remains. Prunes tombstones.
   bool empty();
-  /// Queued entries, counting cancelled-but-unswept tombstones.
+  /// Live queued events. Cancelled events leave this count immediately.
   std::size_t pending_events() const { return live_; }
+  /// Cancelled events still occupying the queue as tombstones.
+  std::size_t tombstone_events() const { return tombstones_; }
   std::uint64_t executed_events() const { return executed_; }
 
   /// Runs events until the queue is empty or the next event is after
@@ -71,13 +89,21 @@ class Scheduler {
   Time next_event_time();
 
  private:
-  void prune_tombstones();
+  friend class EventHandle;
+  static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
 
   struct Entry {
     Time when;
     std::uint64_t seq;
+    std::uint32_t slot;  // kNoSlot for fire-and-forget posts
+    std::uint32_t gen;
     Action action;
-    std::shared_ptr<EventHandle::State> state;
+  };
+  /// Cancellation state, pooled and recycled; `gen` disambiguates handles
+  /// from earlier tenants of the same slot.
+  struct Slot {
+    std::uint32_t gen = 0;
+    bool cancelled = false;
   };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
@@ -86,11 +112,38 @@ class Scheduler {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  void push(Time when, Action action, std::uint32_t slot, std::uint32_t gen);
+  Entry take_top();
+  void release_slot(const Entry& entry);
+  bool entry_cancelled(const Entry& entry) const {
+    return entry.slot != kNoSlot && slots_[entry.slot].cancelled;
+  }
+  void prune_tombstones();
+  void compact();
+
+  // EventHandle backends.
+  bool slot_pending(std::uint32_t slot, std::uint32_t gen) const {
+    return slot < slots_.size() && slots_[slot].gen == gen &&
+           !slots_[slot].cancelled;
+  }
+  void cancel_slot(std::uint32_t slot, std::uint32_t gen);
+
+  std::vector<Entry> heap_;  // binary heap ordered by Later
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::size_t live_ = 0;  // queued entries not yet cancelled
+  std::size_t live_ = 0;        // queued, not cancelled
+  std::size_t tombstones_ = 0;  // queued, cancelled, not yet swept
 };
+
+inline bool EventHandle::pending() const {
+  return owner_ && owner_->slot_pending(slot_, gen_);
+}
+
+inline void EventHandle::cancel() {
+  if (owner_) owner_->cancel_slot(slot_, gen_);
+}
 
 }  // namespace mnp::sim

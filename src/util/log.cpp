@@ -1,11 +1,14 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
 
 namespace mnp::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic so parallel sweep workers can read the level while a main thread
+// (re)configures it — the logger itself stays a simple global sink.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -20,11 +23,13 @@ const char* tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::cerr << "[" << tag(level) << "] " << msg << "\n";
 }
 

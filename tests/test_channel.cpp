@@ -242,5 +242,122 @@ TEST_F(ChannelTest, CannotTransmitWhileOffOrBusy) {
   EXPECT_FALSE(radios_[0]->start_transmission(adv_packet()));  // busy
 }
 
+// --- neighbor cache vs. brute-force reference ----------------------------
+//
+// The cached hot path must be *bit-identical* to the debug reference: same
+// candidate sets in the same order, hence the same RNG stream, hence the
+// same deliveries, collisions and carrier-sense answers on any topology.
+class EquivalenceStack {
+ public:
+  EquivalenceStack(bool cached, std::size_t n) : sim_(99) {
+    sim::Rng place(1234);  // same placement in both stacks
+    for (std::size_t i = 0; i < n; ++i) {
+      topo_.add({place.uniform_real(0.0, 120.0),
+                 place.uniform_real(0.0, 120.0)});
+    }
+    EmpiricalLinkModel::Params lp;
+    links_ = std::make_unique<EmpiricalLinkModel>(topo_, lp, sim::Rng(777));
+    Channel::Params cp;
+    cp.neighbor_cache = cached;
+    channel_ = std::make_unique<Channel>(sim_, topo_, *links_, cp);
+    received_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      meters_.push_back(std::make_unique<energy::EnergyMeter>());
+      radios_.push_back(std::make_unique<Radio>(
+          static_cast<NodeId>(i), sim_.scheduler(), *channel_, *meters_[i]));
+      channel_->register_radio(*radios_[i]);
+      radios_[i]->set_receive_handler(
+          [this, i](const Packet&) { ++received_[i]; });
+      radios_[i]->turn_on();
+    }
+  }
+
+  /// Deterministic traffic pattern: staggered, overlapping transmissions
+  /// (data + adv) from scattered sources, two power scales, plus radios
+  /// toggling off mid-run and periodic carrier-sense probes.
+  void drive() {
+    sim::Rng traffic(4242);  // same schedule in both stacks
+    for (int burst = 0; burst < 40; ++burst) {
+      const auto at = static_cast<sim::Time>(traffic.uniform_int(0, 900000));
+      const auto who =
+          static_cast<NodeId>(traffic.uniform_int(0, static_cast<std::int64_t>(radios_.size()) - 1));
+      const bool bulk = traffic.bernoulli(0.5);
+      const double scale = traffic.bernoulli(0.25) ? 0.5 : 1.0;
+      sim_.scheduler().schedule_at(at, [this, who, bulk, scale] {
+        Packet pkt;
+        if (bulk) {
+          DataMsg d;
+          d.payload.assign(22, 0x5A);
+          pkt.payload = std::move(d);
+        } else {
+          pkt.payload = AdvertisementMsg{};
+        }
+        pkt.src = who;
+        pkt.power_scale = scale;
+        radios_[who]->start_transmission(pkt);
+      });
+      if (burst % 5 == 0) {
+        const auto victim =
+            static_cast<NodeId>(traffic.uniform_int(0, static_cast<std::int64_t>(radios_.size()) - 1));
+        sim_.scheduler().schedule_at(at + 2000, [this, victim] {
+          radios_[victim]->turn_off();
+        });
+        sim_.scheduler().schedule_at(at + 50000, [this, victim] {
+          radios_[victim]->turn_on();
+        });
+      }
+      sim_.scheduler().schedule_at(at + 1000, [this] {
+        for (std::size_t i = 0; i < radios_.size(); ++i) {
+          carrier_samples_.push_back(channel_->carrier_busy(static_cast<NodeId>(i)));
+        }
+      });
+    }
+    sim_.run_until(sim::sec(2));
+  }
+
+  sim::Simulator sim_;
+  Topology topo_;
+  std::unique_ptr<EmpiricalLinkModel> links_;
+  std::unique_ptr<Channel> channel_;
+  std::vector<std::unique_ptr<energy::EnergyMeter>> meters_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::vector<std::uint64_t> received_;
+  std::vector<bool> carrier_samples_;
+};
+
+TEST(ChannelNeighborCache, MatchesBruteForceOnRandomTopology) {
+  EquivalenceStack cached(/*cached=*/true, 48);
+  EquivalenceStack brute(/*cached=*/false, 48);
+  cached.drive();
+  brute.drive();
+
+  EXPECT_EQ(cached.channel_->transmissions(), brute.channel_->transmissions());
+  EXPECT_EQ(cached.channel_->deliveries(), brute.channel_->deliveries());
+  EXPECT_EQ(cached.channel_->collisions(), brute.channel_->collisions());
+  EXPECT_EQ(cached.channel_->concurrent_bulk_overlaps(),
+            brute.channel_->concurrent_bulk_overlaps());
+  EXPECT_EQ(cached.received_, brute.received_);
+  EXPECT_EQ(cached.carrier_samples_, brute.carrier_samples_);
+  // Sanity: the run exercised something in every dimension we compare.
+  EXPECT_GT(cached.channel_->deliveries(), 0u);
+  EXPECT_GT(cached.channel_->collisions(), 0u);
+  // Two power scales were in play, so two neighbor caches materialized.
+  EXPECT_EQ(cached.channel_->cached_power_scales(), 2u);
+  EXPECT_EQ(brute.channel_->cached_power_scales(), 0u);
+}
+
+TEST(ChannelNeighborCache, PairwiseQueriesMatchLinkModel) {
+  // The reachability bitset and per-edge success cache must agree with the
+  // link model for every directed pair, at a non-default power scale too.
+  EquivalenceStack cached(/*cached=*/true, 24);
+  EquivalenceStack brute(/*cached=*/false, 24);
+  cached.drive();
+  brute.drive();
+  for (std::size_t s = 0; s < 24; ++s) {
+    ASSERT_EQ(cached.channel_->carrier_busy(static_cast<NodeId>(s)),
+              brute.channel_->carrier_busy(static_cast<NodeId>(s)));
+  }
+}
+
 }  // namespace
 }  // namespace mnp::net

@@ -177,6 +177,74 @@ TEST(Scheduler, EmptyAfterDrain) {
   EXPECT_TRUE(s.empty());
 }
 
+TEST(Scheduler, PostFiresWithoutHandle) {
+  Scheduler s;
+  std::vector<int> order;
+  s.post_at(msec(20), [&] { order.push_back(2); });
+  s.post_after(msec(10), [&] { order.push_back(1); });
+  s.schedule_at(msec(30), [&] { order.push_back(3); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, CancelUpdatesPendingAccountingImmediately) {
+  // Regression: pending_events() used to keep counting cancelled-but-
+  // unswept tombstones.
+  Scheduler s;
+  EventHandle a = s.schedule_at(msec(1), [] {});
+  EventHandle b = s.schedule_at(msec(2), [] {});
+  s.schedule_at(msec(3), [] {});
+  EXPECT_EQ(s.pending_events(), 3u);
+  b.cancel();
+  EXPECT_EQ(s.pending_events(), 2u);
+  EXPECT_EQ(s.tombstone_events(), 1u);
+  a.cancel();
+  EXPECT_EQ(s.pending_events(), 1u);
+  s.run_all();
+  EXPECT_EQ(s.pending_events(), 0u);
+  EXPECT_EQ(s.tombstone_events(), 0u);
+  EXPECT_EQ(s.executed_events(), 1u);
+}
+
+TEST(Scheduler, CancelHeavyChurnCompactsTheQueue) {
+  Scheduler s;
+  std::vector<EventHandle> handles;
+  const std::size_t n = 10000;
+  handles.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    handles.push_back(
+        s.schedule_at(static_cast<Time>(i + 1), [] { FAIL(); }));
+  }
+  for (auto& h : handles) h.cancel();
+  EXPECT_EQ(s.pending_events(), 0u);
+  // Lazy deletion must not retain all n tombstones: compaction keeps the
+  // queue within 2x the live set.
+  EXPECT_LT(s.tombstone_events(), n / 2 + 65);
+  EXPECT_TRUE(s.empty());
+  // The slot pool is recycled: fresh scheduling still works afterwards.
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    s.schedule_after(msec(i), [&] { ++fired; });
+  }
+  s.run_all();
+  EXPECT_EQ(fired, 100);
+}
+
+TEST(Scheduler, StaleHandleDoesNotCancelSlotReuse) {
+  Scheduler s;
+  EventHandle old = s.schedule_at(msec(1), [] {});
+  s.run_all();
+  // The next event may recycle old's cancellation slot; the stale handle
+  // must stay inert.
+  bool fired = false;
+  EventHandle fresh = s.schedule_at(msec(10), [&] { fired = true; });
+  old.cancel();
+  EXPECT_FALSE(old.pending());
+  EXPECT_TRUE(fresh.pending());
+  s.run_all();
+  EXPECT_TRUE(fired);
+}
+
 TEST(Simulator, RunUntilConditionStopsEarly) {
   Simulator sim(1);
   int count = 0;

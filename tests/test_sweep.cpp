@@ -51,6 +51,90 @@ TEST(Sweep, SameSeedRangeIsDeterministic) {
   EXPECT_DOUBLE_EQ(a.avg_msgs.mean(), b.avg_msgs.mean());
 }
 
+void expect_stats_identical(const util::RunningStats& a,
+                            const util::RunningStats& b) {
+  EXPECT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.sum(), b.sum());  // bitwise: same accumulation order
+  EXPECT_EQ(a.mean(), b.mean());
+  EXPECT_EQ(a.stddev(), b.stddev());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+}
+
+void expect_runs_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.all_completed, b.all_completed);
+  EXPECT_EQ(a.completed_count, b.completed_count);
+  EXPECT_EQ(a.completion_time, b.completion_time);
+  EXPECT_EQ(a.measured_at, b.measured_at);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.deliveries, b.deliveries);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.bulk_overlaps, b.bulk_overlaps);
+  EXPECT_EQ(a.sender_order, b.sender_order);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+    EXPECT_EQ(a.nodes[i].completion, b.nodes[i].completion);
+    EXPECT_EQ(a.nodes[i].active_radio, b.nodes[i].active_radio);
+    EXPECT_EQ(a.nodes[i].parent, b.nodes[i].parent);
+    EXPECT_EQ(a.nodes[i].tx_total, b.nodes[i].tx_total);
+    EXPECT_EQ(a.nodes[i].rx_total, b.nodes[i].rx_total);
+    EXPECT_EQ(a.nodes[i].eeprom_writes, b.nodes[i].eeprom_writes);
+    EXPECT_EQ(a.nodes[i].energy_nah, b.nodes[i].energy_nah);
+    EXPECT_EQ(a.nodes[i].image_verified, b.nodes[i].image_verified);
+  }
+}
+
+TEST(Sweep, ParallelJobsBitIdenticalToSequential) {
+  // The headline determinism claim: a parallel sweep must produce the same
+  // bytes as a sequential one — every aggregate stat and every raw run.
+  SweepOptions sequential;
+  sequential.jobs = 1;
+  sequential.keep_raw = true;
+  SweepOptions parallel;
+  parallel.jobs = 4;
+  parallel.keep_raw = true;
+
+  const auto a = run_sweep(tiny(), 6, /*first_seed=*/20, sequential);
+  const auto b = run_sweep(tiny(), 6, /*first_seed=*/20, parallel);
+
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.fully_completed_runs, b.fully_completed_runs);
+  expect_stats_identical(a.completion_s, b.completion_s);
+  expect_stats_identical(a.avg_art_s, b.avg_art_s);
+  expect_stats_identical(a.avg_art_post_adv_s, b.avg_art_post_adv_s);
+  expect_stats_identical(a.avg_msgs, b.avg_msgs);
+  expect_stats_identical(a.collisions, b.collisions);
+  expect_stats_identical(a.bulk_overlaps, b.bulk_overlaps);
+  expect_stats_identical(a.energy_per_node_nah, b.energy_per_node_nah);
+  expect_stats_identical(a.effective_senders, b.effective_senders);
+  ASSERT_EQ(a.raw.size(), b.raw.size());
+  for (std::size_t i = 0; i < a.raw.size(); ++i) {
+    expect_runs_identical(a.raw[i], b.raw[i]);
+  }
+}
+
+TEST(Sweep, MoreJobsThanRunsIsFine) {
+  SweepOptions options;
+  options.jobs = 16;
+  const auto sweep = run_sweep(tiny(), 2, 1, options);
+  EXPECT_EQ(sweep.runs, 2u);
+  EXPECT_EQ(sweep.fully_completed_runs, 2u);
+}
+
+TEST(Sweep, ResolveJobsPassesExplicitValueThrough) {
+  EXPECT_EQ(resolve_sweep_jobs(3), 3u);
+  // 0 with no env var set means sequential.
+  unsetenv("MNP_SWEEP_JOBS");
+  EXPECT_EQ(resolve_sweep_jobs(0), 1u);
+  setenv("MNP_SWEEP_JOBS", "5", 1);
+  EXPECT_EQ(resolve_sweep_jobs(0), 5u);
+  setenv("MNP_SWEEP_JOBS", "auto", 1);
+  EXPECT_GE(resolve_sweep_jobs(0), 1u);
+  setenv("MNP_SWEEP_JOBS", "nonsense", 1);
+  EXPECT_EQ(resolve_sweep_jobs(0), 1u);
+  unsetenv("MNP_SWEEP_JOBS");
+}
+
 TEST(Sweep, FormatStat) {
   util::RunningStats s;
   s.add(1.0);

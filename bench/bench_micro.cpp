@@ -6,11 +6,14 @@
 // Beyond the google-benchmark suite, `bench_micro --perf-json[=DIR]` runs
 // a deterministic perf-tracking harness instead and writes machine-
 // readable BENCH_channel.json (cached vs. brute-force channel hot path on
-// a 30x30 grid) and BENCH_sweep.json (run_sweep jobs=1 vs. jobs=2/4 plus
-// the bit-identical-stats check). Those files are committed so the perf
+// a 30x30 grid), BENCH_packet.json (shared-frame vs. per-receiver-copy
+// delivery plus end-to-end 30x30 numbers and the pool's allocation
+// counters) and BENCH_sweep.json (run_sweep jobs=1 vs. jobs=2/4 plus the
+// bit-identical-stats check). Those files are committed so the perf
 // trajectory is visible across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -29,6 +32,7 @@
 #include "net/topology.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "trace/event_log.hpp"
 #include "util/bitmap.hpp"
 
 namespace {
@@ -37,21 +41,23 @@ using namespace mnp;
 
 // --- shared channel fixture ------------------------------------------------
 
-/// A rows x rows grid with every radio listening; link model and cache
-/// mode are configurable so cached and brute-force paths time the exact
-/// same workload.
+/// A rows x rows grid with every radio listening; link model, cache mode
+/// and copy mode are configurable so fast and reference paths time the
+/// exact same workload. `range` widens the disk radius (denser fan-out).
 struct ChannelStack {
-  ChannelStack(std::size_t rows, bool neighbor_cache, bool empirical)
+  ChannelStack(std::size_t rows, bool neighbor_cache, bool empirical,
+               bool zero_copy = true, double range = 25.0)
       : sim(1), topo(net::Topology::grid(rows, rows, 10.0)) {
     if (empirical) {
       net::EmpiricalLinkModel::Params lp;
       links = std::make_unique<net::EmpiricalLinkModel>(topo, lp,
                                                         sim.fork_rng(0x11A7ULL));
     } else {
-      links = std::make_unique<net::DiskLinkModel>(topo, 25.0);
+      links = std::make_unique<net::DiskLinkModel>(topo, range);
     }
     net::Channel::Params cp;
     cp.neighbor_cache = neighbor_cache;
+    cp.zero_copy = zero_copy;
     channel = std::make_unique<net::Channel>(sim, topo, *links, cp);
     const std::size_t n = rows * rows;
     for (std::size_t i = 0; i < n; ++i) {
@@ -179,6 +185,23 @@ void BM_BitmapUnionCount(benchmark::State& state) {
 }
 BENCHMARK(BM_BitmapUnionCount);
 
+void BM_EventLogRecord(benchmark::State& state) {
+  // Steady-state trace recording: the ring is at capacity, so every record
+  // is an overwrite — no allocation, no string construction.
+  trace::EventLog log(4096);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    log.record(static_cast<sim::Time>(i), 3, trace::EventKind::kPacketSent,
+               std::string_view("Data"));
+    log.record(static_cast<sim::Time>(i), 3,
+               trace::EventKind::kSegmentCompleted, i % 5);
+    ++i;
+  }
+  benchmark::DoNotOptimize(log.dropped());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_EventLogRecord);
+
 // --- channel ---------------------------------------------------------------
 
 void channel_broadcast_bench(benchmark::State& state, bool cached) {
@@ -202,6 +225,32 @@ void BM_ChannelBroadcastBruteForce(benchmark::State& state) {
   channel_broadcast_bench(state, /*cached=*/false);
 }
 BENCHMARK(BM_ChannelBroadcastBruteForce)->Arg(10)->Arg(20)->Arg(30);
+
+void frame_delivery_bench(benchmark::State& state, bool zero_copy) {
+  // Delivery fan-out: one data broadcast heard by ~60 listeners (45 ft
+  // disk on a 10 ft grid). Shared mode hands every receiver the same
+  // frame; copy mode deep-copies the packet per receiver and allocates a
+  // fresh frame per transmission — the pre-flyweight behavior.
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  ChannelStack stack(rows, /*neighbor_cache=*/true, /*empirical=*/false,
+                     zero_copy, /*range=*/45.0);
+  const net::Packet pkt = data_packet();
+  const net::NodeId center = static_cast<net::NodeId>(rows * rows / 2);
+  for (auto _ : state) {
+    stack.broadcast_from(center, pkt);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_FrameDeliveryShared(benchmark::State& state) {
+  frame_delivery_bench(state, /*zero_copy=*/true);
+}
+BENCHMARK(BM_FrameDeliveryShared)->Arg(30);
+
+void BM_FrameDeliveryCopy(benchmark::State& state) {
+  frame_delivery_bench(state, /*zero_copy=*/false);
+}
+BENCHMARK(BM_FrameDeliveryCopy)->Arg(30);
 
 // --- end-to-end ------------------------------------------------------------
 
@@ -249,6 +298,48 @@ double time_channel_broadcasts(std::size_t rows, int packets, bool cached) {
   stack.broadcast_from(center, pkt);  // warmup: materializes the cache
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < packets; ++i) stack.broadcast_from(center, pkt);
+  return ms_since(start);
+}
+
+struct DeliveryTiming {
+  double ms = 0.0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t node_allocs = 0;
+  std::uint64_t payload_allocs = 0;
+};
+
+/// Times `packets` dense broadcasts (45 ft disk => ~60 listeners each) on
+/// a rows x rows grid, in shared-frame or per-receiver-copy mode.
+DeliveryTiming time_frame_deliveries(std::size_t rows, int packets,
+                                     bool zero_copy) {
+  ChannelStack stack(rows, /*neighbor_cache=*/true, /*empirical=*/false,
+                     zero_copy, /*range=*/45.0);
+  const net::Packet pkt = data_packet();
+  const net::NodeId center = static_cast<net::NodeId>(rows * rows / 2);
+  stack.broadcast_from(center, pkt);  // warmup: fills neighbor cache + pool
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < packets; ++i) stack.broadcast_from(center, pkt);
+  DeliveryTiming t;
+  t.ms = ms_since(start);
+  t.deliveries = stack.channel->deliveries();
+  t.node_allocs = stack.channel->frame_pool().node_allocations();
+  t.payload_allocs = stack.channel->frame_pool().payload_allocations();
+  return t;
+}
+
+/// Wall-clock of one full 30x30 MNP dissemination, shared or copy mode.
+double time_end_to_end(bool zero_copy) {
+  harness::ExperimentConfig cfg;
+  cfg.rows = 30;
+  cfg.cols = 30;
+  cfg.set_program_segments(1);
+  cfg.seed = 5;
+  cfg.channel.zero_copy = zero_copy;
+  const auto start = std::chrono::steady_clock::now();
+  const auto r = harness::run_experiment(cfg);
+  if (!r.all_completed) {
+    std::fprintf(stderr, "perf-json: 30x30 dissemination did not complete\n");
+  }
   return ms_since(start);
 }
 
@@ -312,6 +403,64 @@ int run_perf_json(const std::string& dir) {
                 channel_speedup);
   }
 
+  std::printf("perf-json: timing shared vs. copy delivery on a %zux%zu grid...\n",
+              rows, rows);
+  const int delivery_packets = 2000;
+  const DeliveryTiming shared =
+      time_frame_deliveries(rows, delivery_packets, true);
+  const DeliveryTiming copied =
+      time_frame_deliveries(rows, delivery_packets, false);
+  const double delivery_speedup = shared.ms > 0.0 ? copied.ms / shared.ms : 0.0;
+  std::printf("perf-json: timing end-to-end 30x30 shared vs. copy...\n");
+  // One warmup then min-of-two per mode, interleaved: the first 30x30 run
+  // in a process pays cold allocator/link-cache costs that would otherwise
+  // bias whichever mode goes first.
+  time_end_to_end(true);
+  double e2e_shared_ms = 1e300;
+  double e2e_copy_ms = 1e300;
+  for (int rep = 0; rep < 2; ++rep) {
+    e2e_copy_ms = std::min(e2e_copy_ms, time_end_to_end(false));
+    e2e_shared_ms = std::min(e2e_shared_ms, time_end_to_end(true));
+  }
+  {
+    const std::string path = dir + "/BENCH_packet.json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"benchmark\": \"packet_path\",\n"
+                 "  \"grid\": \"%zux%zu\",\n"
+                 "  \"delivery_packets\": %d,\n"
+                 "  \"deliveries_per_packet\": %.1f,\n"
+                 "  \"shared_delivery_ms\": %.3f,\n"
+                 "  \"copy_delivery_ms\": %.3f,\n"
+                 "  \"delivery_speedup\": %.2f,\n"
+                 "  \"shared_node_allocations\": %llu,\n"
+                 "  \"copy_node_allocations\": %llu,\n"
+                 "  \"end_to_end_shared_ms\": %.3f,\n"
+                 "  \"end_to_end_copy_ms\": %.3f,\n"
+                 "  \"end_to_end_speedup\": %.2f\n"
+                 "}\n",
+                 rows, rows, delivery_packets,
+                 static_cast<double>(shared.deliveries) /
+                     (delivery_packets + 1),
+                 shared.ms, copied.ms, delivery_speedup,
+                 static_cast<unsigned long long>(shared.node_allocs),
+                 static_cast<unsigned long long>(copied.node_allocs),
+                 e2e_shared_ms, e2e_copy_ms,
+                 e2e_shared_ms > 0.0 ? e2e_copy_ms / e2e_shared_ms : 0.0);
+    std::fclose(f);
+    std::printf(
+        "perf-json: %s (delivery %.2fx, end-to-end %.2fx, shared allocs "
+        "%llu)\n",
+        path.c_str(), delivery_speedup,
+        e2e_shared_ms > 0.0 ? e2e_copy_ms / e2e_shared_ms : 0.0,
+        static_cast<unsigned long long>(shared.node_allocs));
+  }
+
   std::printf("perf-json: timing 8-seed sweep at jobs=1/2/4...\n");
   const SweepTiming j1 = time_sweep(1);
   const SweepTiming j2 = time_sweep(2);
@@ -325,11 +474,15 @@ int run_perf_json(const std::string& dir) {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return 1;
     }
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t hw_clamp = hw ? hw : 1;
     std::fprintf(f,
                  "{\n"
                  "  \"benchmark\": \"parallel_sweep\",\n"
                  "  \"config\": \"MNP 6x6 grid, 1 segment, 8 seeds\",\n"
                  "  \"hardware_concurrency\": %u,\n"
+                 "  \"effective_jobs2\": %zu,\n"
+                 "  \"effective_jobs4\": %zu,\n"
                  "  \"jobs1_ms\": %.3f,\n"
                  "  \"jobs2_ms\": %.3f,\n"
                  "  \"jobs4_ms\": %.3f,\n"
@@ -337,7 +490,9 @@ int run_perf_json(const std::string& dir) {
                  "  \"speedup_jobs4\": %.2f,\n"
                  "  \"stats_bit_identical\": %s\n"
                  "}\n",
-                 std::thread::hardware_concurrency(), j1.ms, j2.ms, j4.ms,
+                 hw, harness::effective_sweep_jobs(2, 8, hw_clamp, false),
+                 harness::effective_sweep_jobs(4, 8, hw_clamp, false),
+                 j1.ms, j2.ms, j4.ms,
                  j2.ms > 0.0 ? j1.ms / j2.ms : 0.0,
                  j4.ms > 0.0 ? j1.ms / j4.ms : 0.0,
                  identical ? "true" : "false");
@@ -354,6 +509,12 @@ int run_perf_json(const std::string& dir) {
     std::fprintf(stderr,
                  "perf-json: channel speedup %.2fx below the 3x target\n",
                  channel_speedup);
+    return 1;
+  }
+  if (delivery_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "perf-json: delivery speedup %.2fx below the 2x target\n",
+                 delivery_speedup);
     return 1;
   }
   return 0;

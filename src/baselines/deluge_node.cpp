@@ -220,12 +220,15 @@ void DelugeNode::pump_tx() {
     data.version = version_;
     data.page = tx_page_;
     data.pkt_id = static_cast<std::uint8_t>(next);
+    data.payload = node_->frame_pool().acquire_payload();
     if (image_) {
-      data.payload = image_->packet_payload(tx_page_, static_cast<std::uint16_t>(next));
+      image_->packet_payload_into(tx_page_, static_cast<std::uint16_t>(next),
+                                  data.payload);
     } else {
-      data.payload = node_->eeprom().read(
+      node_->eeprom().read_into(
           eeprom_offset(tx_page_, static_cast<std::uint16_t>(next)),
-          payload_len(tx_page_, static_cast<std::uint16_t>(next)));
+          payload_len(tx_page_, static_cast<std::uint16_t>(next)),
+          data.payload);
     }
     pkt.payload = std::move(data);
     node_->send(std::move(pkt));

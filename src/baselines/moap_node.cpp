@@ -122,16 +122,18 @@ void MoapNode::pump_stream() {
     net::MoapDataMsg data;
     data.version = version_;
     data.pkt_id = pkt_id;
+    data.payload = node_->frame_pool().acquire_payload();
     if (image_) {
       const std::size_t offset =
           static_cast<std::size_t>(pkt_id) * config_.payload_bytes;
       const std::size_t len = payload_len(pkt_id);
-      data.payload = {image_->bytes().begin() + static_cast<long>(offset),
-                      image_->bytes().begin() + static_cast<long>(offset + len)};
+      data.payload.insert(data.payload.end(),
+                          image_->bytes().begin() + static_cast<long>(offset),
+                          image_->bytes().begin() + static_cast<long>(offset + len));
     } else {
-      data.payload = node_->eeprom().read(
+      node_->eeprom().read_into(
           static_cast<std::size_t>(pkt_id) * config_.payload_bytes,
-          payload_len(pkt_id));
+          payload_len(pkt_id), data.payload);
     }
     pkt.payload = std::move(data);
     node_->send(std::move(pkt));

@@ -61,8 +61,10 @@ void XnpNode::pump_data() {
     const std::size_t offset = static_cast<std::size_t>(pkt_id) * config_.payload_bytes;
     const std::size_t len =
         std::min(config_.payload_bytes, image_->total_bytes() - offset);
-    data.payload = {image_->bytes().begin() + static_cast<long>(offset),
-                    image_->bytes().begin() + static_cast<long>(offset + len)};
+    data.payload = node_->frame_pool().acquire_payload();
+    data.payload.insert(data.payload.end(),
+                        image_->bytes().begin() + static_cast<long>(offset),
+                        image_->bytes().begin() + static_cast<long>(offset + len));
     pkt.payload = std::move(data);
     node_->send(std::move(pkt));
   }

@@ -112,7 +112,8 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
     };
   }
 
-  node::Network network(sim, std::move(topo), make_links, {}, {}, mac_factory);
+  node::Network network(sim, std::move(topo), make_links, cfg.channel, {},
+                        mac_factory);
 
   auto image = std::make_shared<const core::ProgramImage>(
       cfg.program_id, cfg.program_bytes, image_packets_per_segment(cfg),

@@ -11,6 +11,7 @@
 #include "baselines/xnp_node.hpp"
 #include "harness/metrics.hpp"
 #include "mnp/mnp_config.hpp"
+#include "net/channel.hpp"
 #include "net/link_model.hpp"
 
 namespace mnp::harness {
@@ -42,6 +43,9 @@ struct ExperimentConfig {
   double interference_factor = 1.6;
   bool empirical_links = true;    // false => ideal disk model
   double link_noise_stddev = 0.08;
+  /// Channel mechanics (neighbor cache, zero-copy delivery). Defaults keep
+  /// both fast paths on; equivalence tests flip them off per run.
+  net::Channel::Params channel;
 
   // --- program -----------------------------------------------------------
   std::uint16_t program_id = 7;

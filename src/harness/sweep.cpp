@@ -56,14 +56,29 @@ std::size_t resolve_sweep_jobs(std::size_t requested) {
   return static_cast<std::size_t>(parsed);
 }
 
+std::size_t effective_sweep_jobs(std::size_t resolved, std::size_t runs,
+                                 std::size_t hardware,
+                                 bool allow_oversubscribe) {
+  std::size_t jobs = std::min(std::max<std::size_t>(resolved, 1), runs);
+  if (!allow_oversubscribe) {
+    // Seeds are CPU-bound with no I/O to overlap, so threads beyond the
+    // core count only add context switches (BENCH_sweep.json measured
+    // jobs=2/4 at 0.82x/0.87x of sequential on a 1-core host).
+    jobs = std::min(jobs, std::max<std::size_t>(hardware, 1));
+  }
+  return jobs;
+}
+
 SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
                       std::uint64_t first_seed, const SweepOptions& options) {
   SweepResult sweep;
   sweep.runs = runs;
   if (runs == 0) return sweep;
 
-  const std::size_t jobs =
-      std::min(std::max<std::size_t>(resolve_sweep_jobs(options.jobs), 1), runs);
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t jobs = effective_sweep_jobs(
+      resolve_sweep_jobs(options.jobs), runs,
+      hw ? static_cast<std::size_t>(hw) : 1, options.allow_oversubscribe);
 
   if (jobs <= 1) {
     for (std::size_t i = 0; i < runs; ++i) {

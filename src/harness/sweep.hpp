@@ -43,6 +43,11 @@ struct SweepOptions {
   std::size_t jobs = 0;
   /// Retain each RunResult in SweepResult::raw (memory!).
   bool keep_raw = false;
+  /// By default a sweep never runs more worker threads than the machine
+  /// has cores — oversubscribing a simulator workload only adds context
+  /// switches (measured *slower* than sequential on a 1-core host). Tests
+  /// that need to exercise the thread pool regardless set this.
+  bool allow_oversubscribe = false;
 };
 
 /// Runs `cfg` once per seed in [first_seed, first_seed + runs) and
@@ -59,6 +64,13 @@ SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
 /// MNP_SWEEP_JOBS environment variable ("auto" or "0" = hardware
 /// concurrency, a number = that many workers, unset/garbage = 1).
 std::size_t resolve_sweep_jobs(std::size_t requested);
+
+/// Worker count run_sweep actually uses: the resolved request clamped to
+/// `runs` and — unless `allow_oversubscribe` — to `hardware` threads.
+/// Pure so tests can pin the clamp on any simulated core count.
+std::size_t effective_sweep_jobs(std::size_t resolved, std::size_t runs,
+                                 std::size_t hardware,
+                                 bool allow_oversubscribe);
 
 /// "mean +/- stddev [min, max]" rendering for bench tables.
 std::string format_stat(const util::RunningStats& s, int precision = 1);

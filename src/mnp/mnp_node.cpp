@@ -42,7 +42,7 @@ void MnpNode::start(node::Node& node) {
   }
 }
 
-std::string MnpNode::state_name(State s) {
+const char* MnpNode::state_cname(State s) {
   switch (s) {
     case State::kIdle: return "Idle";
     case State::kDownload: return "Download";
@@ -54,6 +54,8 @@ std::string MnpNode::state_name(State s) {
   }
   return "?";
 }
+
+std::string MnpNode::state_name(State s) { return state_cname(s); }
 
 void MnpNode::set_battery_level(double fraction) {
   battery_level_ = std::clamp(fraction, 0.0, 1.0);
@@ -152,8 +154,15 @@ bool MnpNode::accepts_program(std::uint16_t program_id) const {
 void MnpNode::change_state(State next) {
   if (next != state_ && node_ != nullptr) {
     if (auto* log = node_->stats().event_log()) {
+      // Format "Old->New" in a stack buffer; the log copies it inline.
+      char buf[2 * 16 + 2];
+      char* p = buf;
+      for (const char* s = state_cname(state_); *s != '\0';) *p++ = *s++;
+      *p++ = '-';
+      *p++ = '>';
+      for (const char* s = state_cname(next); *s != '\0';) *p++ = *s++;
       log->record(node_->now(), node_->id(), trace::EventKind::kStateChange,
-                  state_name(state_) + "->" + state_name(next));
+                  std::string_view(buf, static_cast<std::size_t>(p - buf)));
     }
   }
   state_ = next;
@@ -681,11 +690,14 @@ void MnpNode::send_data_packet(std::uint16_t seg, std::uint16_t pkt_id) {
   data.program_id = program_id_;
   data.seg_id = seg;
   data.pkt_id = pkt_id;
+  // Payload buffer comes from the frame pool: its capacity is recycled
+  // from an earlier data frame instead of heap-allocated per packet.
+  data.payload = node_->frame_pool().acquire_payload();
   if (image_) {
-    data.payload = image_->packet_payload(seg, pkt_id);
+    image_->packet_payload_into(seg, pkt_id, data.payload);
   } else {
-    data.payload =
-        node_->eeprom().read(eeprom_offset(seg, pkt_id), payload_len(seg, pkt_id));
+    node_->eeprom().read_into(eeprom_offset(seg, pkt_id),
+                              payload_len(seg, pkt_id), data.payload);
   }
   pkt.payload = std::move(data);
   node_->send(std::move(pkt));

@@ -69,6 +69,8 @@ class MnpNode final : public node::Application {
   // --- introspection (tests, benches) ------------------------------------
   State state() const { return state_; }
   static std::string state_name(State s);
+  /// Allocation-free spelling used on the trace hot path.
+  static const char* state_cname(State s);
   std::uint16_t received_segments() const { return rvd_seg_; }
   std::uint16_t advertised_segment() const { return adv_seg_; }
   std::uint8_t req_ctr() const { return req_ctr_; }

@@ -62,11 +62,19 @@ std::size_t ProgramImage::packet_offset(std::uint16_t seg, std::uint16_t pkt) co
 
 std::vector<std::uint8_t> ProgramImage::packet_payload(std::uint16_t seg,
                                                        std::uint16_t pkt) const {
+  std::vector<std::uint8_t> out;
+  packet_payload_into(seg, pkt, out);
+  return out;
+}
+
+void ProgramImage::packet_payload_into(std::uint16_t seg, std::uint16_t pkt,
+                                       std::vector<std::uint8_t>& out) const {
+  out.clear();
   const std::size_t offset = packet_offset(seg, pkt);
-  if (offset >= data_.size()) return {};
+  if (offset >= data_.size()) return;
   const std::size_t len = std::min(payload_bytes_, data_.size() - offset);
-  return {data_.begin() + static_cast<long>(offset),
-          data_.begin() + static_cast<long>(offset + len)};
+  out.insert(out.end(), data_.begin() + static_cast<long>(offset),
+             data_.begin() + static_cast<long>(offset + len));
 }
 
 }  // namespace mnp::core

@@ -52,6 +52,11 @@ class ProgramImage {
   /// may be short).
   std::vector<std::uint8_t> packet_payload(std::uint16_t seg, std::uint16_t pkt) const;
 
+  /// Allocation-free variant: fills `out` (typically a pooled buffer whose
+  /// capacity is being recycled) with the payload of (seg, pkt).
+  void packet_payload_into(std::uint16_t seg, std::uint16_t pkt,
+                           std::vector<std::uint8_t>& out) const;
+
   const std::vector<std::uint8_t>& bytes() const { return data_; }
 
   /// True if `candidate` equals this image (the paper's "accuracy"

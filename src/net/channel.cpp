@@ -15,6 +15,8 @@ Channel::Channel(sim::Simulator& sim, const Topology& topo,
       params_(params),
       rng_(sim.fork_rng(0xC4A27EFULL)) {
   radios_.resize(topo_.size(), nullptr);
+  // Copy mode is the honest brute-force reference: no recycling anywhere.
+  pool_.set_recycling(params_.zero_copy);
 }
 
 Channel::Channel(sim::Simulator& sim, const Topology& topo,
@@ -64,7 +66,7 @@ bool Channel::carrier_busy(NodeId listener) const {
     for (const auto& tx : active_) {
       if (tx->src == listener) return true;  // own transmission in flight
       if (listener < n &&
-          cache_for(tx->pkt.power_scale).reaches(n, tx->src, listener)) {
+          cache_for(tx->pkt().power_scale).reaches(n, tx->src, listener)) {
         return true;
       }
     }
@@ -72,9 +74,26 @@ bool Channel::carrier_busy(NodeId listener) const {
   }
   for (const auto& tx : active_) {
     if (tx->src == listener) return true;
-    if (links_.interferes(tx->src, listener, tx->pkt.power_scale)) return true;
+    if (links_.interferes(tx->src, listener, tx->pkt().power_scale)) return true;
   }
   return false;
+}
+
+std::shared_ptr<Channel::Active> Channel::acquire_active() {
+  if (params_.zero_copy) {
+    // Scan for a retired record the scheduler has released (the completion
+    // lambda keeps a reference until it runs; such entries sit at
+    // use_count() > 1 and stay in the retired list).
+    for (std::size_t i = retired_active_.size(); i-- > 0;) {
+      if (retired_active_[i].use_count() == 1) {
+        std::shared_ptr<Active> tx = std::move(retired_active_[i]);
+        retired_active_[i] = std::move(retired_active_.back());
+        retired_active_.pop_back();
+        return tx;
+      }
+    }
+  }
+  return std::make_shared<Active>();
 }
 
 void Channel::corrupt_candidate(Active& tx, std::size_t candidate_index) {
@@ -93,14 +112,18 @@ void Channel::corrupt_listener(Active& tx, NodeId id) {
 }
 
 void Channel::begin_transmission(NodeId src, Packet pkt) {
-  auto tx = std::make_shared<Active>();
+  begin_transmission(src, pool_.adopt(std::move(pkt)));
+}
+
+void Channel::begin_transmission(NodeId src, FramePtr frame) {
+  std::shared_ptr<Active> tx = acquire_active();
   tx->src = src;
   tx->start = sim_.now();
-  tx->end = sim_.now() + airtime(pkt);
-  tx->bulk = is_bulk_data(pkt.type());
-  tx->pkt = std::move(pkt);
+  tx->end = sim_.now() + airtime(*frame);
+  tx->bulk = is_bulk_data(frame->type());
+  tx->frame = std::move(frame);
   ++transmissions_;
-  if (observer_) observer_->on_transmit(src, tx->pkt, sim_.now());
+  if (observer_) observer_->on_transmit(src, tx->pkt(), sim_.now());
 
   // Candidate receivers: every node currently listening whose radio hears
   // this source at all (interference reach, not just decode reach). The
@@ -109,7 +132,7 @@ void Channel::begin_transmission(NodeId src, Packet pkt) {
   const std::size_t n = topo_.size();
   const ScaleCache* tx_cache = nullptr;
   if (params_.neighbor_cache) {
-    tx_cache = &cache_for(tx->pkt.power_scale);
+    tx_cache = &cache_for(tx->pkt().power_scale);
     if (src < n) {
       const auto& neighbors = tx_cache->neighbors[src];
       const auto& success = tx_cache->success[src];
@@ -127,10 +150,10 @@ void Channel::begin_transmission(NodeId src, Packet pkt) {
     for (NodeId id = 0; id < radios_.size(); ++id) {
       Radio* r = radios_[id];
       if (!r || id == src || !r->is_listening()) continue;
-      if (!links_.interferes(src, id, tx->pkt.power_scale)) continue;
+      if (!links_.interferes(src, id, tx->pkt().power_scale)) continue;
       tx->candidates.push_back(id);
       tx->success.push_back(
-          links_.packet_success(src, id, tx->pkt.power_scale));
+          links_.packet_success(src, id, tx->pkt().power_scale));
       tx->corrupted.push_back(false);
     }
   }
@@ -139,15 +162,15 @@ void Channel::begin_transmission(NodeId src, Packet pkt) {
   // reached by both sources decodes neither packet.
   for (const auto& other : active_) {
     const ScaleCache* other_cache =
-        params_.neighbor_cache ? &cache_for(other->pkt.power_scale) : nullptr;
+        params_.neighbor_cache ? &cache_for(other->pkt().power_scale) : nullptr;
     const auto other_reaches = [&](NodeId at) {
       return other_cache
                  ? other_cache->reaches(n, other->src, at)
-                 : links_.interferes(other->src, at, other->pkt.power_scale);
+                 : links_.interferes(other->src, at, other->pkt().power_scale);
     };
     const auto tx_reaches = [&](NodeId at) {
       return tx_cache ? tx_cache->reaches(n, src, at)
-                      : links_.interferes(src, at, tx->pkt.power_scale);
+                      : links_.interferes(src, at, tx->pkt().power_scale);
     };
     for (std::size_t i = 0; i < tx->candidates.size(); ++i) {
       const NodeId r = tx->candidates[i];
@@ -214,8 +237,27 @@ void Channel::end_transmission(const std::shared_ptr<Active>& tx) {
     if (!radio || !radio->is_listening()) continue;
     if (!rng_.bernoulli(tx->success[i])) continue;
     ++deliveries_;
-    if (observer_) observer_->on_deliver(tx->src, r, tx->pkt, sim_.now());
-    radio->deliver(tx->pkt);
+    if (observer_) observer_->on_deliver(tx->src, r, tx->pkt(), sim_.now());
+    if (params_.zero_copy) {
+      // Every receiver reads the one shared immutable frame.
+      radio->deliver(tx->pkt());
+    } else {
+      // Brute-force reference: each receiver gets its own deep copy, as if
+      // the air materialized a fresh packet per listener.
+      const Packet copy = tx->pkt();
+      radio->deliver(copy);
+    }
+  }
+  if (params_.zero_copy && retired_active_.size() < 64) {
+    // Park the record for reuse; capacity of the candidate vectors and the
+    // shared_ptr control block survive. The completion lambda still holds
+    // a reference until the scheduler drops it, which acquire_active
+    // detects via use_count().
+    tx->frame.reset();
+    tx->candidates.clear();
+    tx->success.clear();
+    tx->corrupted.clear();
+    retired_active_.push_back(tx);
   }
 }
 

@@ -33,6 +33,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/frame.hpp"
 #include "net/link_model.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
@@ -59,6 +60,11 @@ class Channel {
     /// scans the neighbor cache replaces. Equivalence-tested against the
     /// cached path; keep it for diffing, never for production runs.
     bool neighbor_cache = true;
+    /// Debug/reference switch: false reverts to brute-force delivery —
+    /// every receiver gets its own deep copy of the packet, frame/payload
+    /// pooling is off, and each transmission record is heap-allocated.
+    /// Equivalence-tested bit-identical against the shared-frame path.
+    bool zero_copy = true;
   };
 
   Channel(sim::Simulator& sim, const Topology& topo, const LinkModel& links,
@@ -78,10 +84,17 @@ class Channel {
   /// True if `listener` currently senses energy on the channel.
   bool carrier_busy(NodeId listener) const;
 
-  /// Radio -> channel: `src` began transmitting `pkt`; the channel
-  /// schedules delivery/corruption and will keep the medium busy for
-  /// airtime(pkt).
+  /// Radio -> channel: `src` began transmitting the shared frame; the
+  /// channel schedules delivery/corruption and will keep the medium busy
+  /// for its airtime.
+  void begin_transmission(NodeId src, FramePtr frame);
+  /// Convenience overload: wraps `pkt` into a frame first.
   void begin_transmission(NodeId src, Packet pkt);
+
+  /// Pool all outgoing frames (and their DataMsg payload buffers) are
+  /// drawn from. Owned here because the channel is the one object every
+  /// radio/MAC/node of a simulation shares.
+  FramePool& frame_pool() { return pool_; }
 
   /// Radio -> channel: this node is no longer listening (turned off or
   /// started transmitting); it loses any packet currently in flight to it.
@@ -100,7 +113,7 @@ class Channel {
  private:
   struct Active {
     NodeId src;
-    Packet pkt;
+    FramePtr frame;                  // the one shared copy of the packet
     sim::Time start;
     sim::Time end;
     bool bulk;
@@ -108,6 +121,8 @@ class Channel {
     std::vector<NodeId> candidates;  // listening-at-start, interfered, ascending
     std::vector<double> success;     // decode probability, parallel to candidates
     std::vector<bool> corrupted;     // parallel to candidates
+
+    const Packet& pkt() const { return *frame; }
   };
 
   /// Neighbor sets + per-edge decode success for one power scale.
@@ -124,6 +139,10 @@ class Channel {
   };
 
   const ScaleCache& cache_for(double power_scale) const;
+  /// Fetches a transmission record, recycling a retired one when the
+  /// scheduler has let go of it (its completion lambda holds a reference
+  /// until it fires, so only use_count()==1 entries are reusable).
+  std::shared_ptr<Active> acquire_active();
   void corrupt_candidate(Active& tx, std::size_t candidate_index);
   /// Marks `id` corrupted in `tx` if it is a candidate (binary search —
   /// candidate lists are ascending).
@@ -136,8 +155,10 @@ class Channel {
   const LinkModel& links_;
   Params params_;
   sim::Rng rng_;
+  FramePool pool_;
   std::vector<Radio*> radios_;  // index = NodeId
   std::vector<std::shared_ptr<Active>> active_;
+  std::vector<std::shared_ptr<Active>> retired_active_;  // reuse candidates
   // Lazily built, small (one entry per distinct power scale seen); mutable
   // so the const query paths can materialize a scale on first use.
   mutable std::vector<std::unique_ptr<ScaleCache>> scales_;

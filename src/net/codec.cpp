@@ -35,16 +35,17 @@ class Writer {
 
 class Reader {
  public:
-  explicit Reader(const std::vector<std::uint8_t>& in) : in_(in) {}
+  Reader(const std::uint8_t* data, std::size_t length)
+      : data_(data), size_(length) {}
 
   bool u8(std::uint8_t& v) {
-    if (pos_ + 1 > in_.size()) return false;
-    v = in_[pos_++];
+    if (pos_ + 1 > size_) return false;
+    v = data_[pos_++];
     return true;
   }
   bool u16(std::uint16_t& v) {
-    if (pos_ + 2 > in_.size()) return false;
-    v = static_cast<std::uint16_t>(in_[pos_] | (in_[pos_ + 1] << 8));
+    if (pos_ + 2 > size_) return false;
+    v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
     pos_ += 2;
     return true;
   }
@@ -55,9 +56,8 @@ class Reader {
     return true;
   }
   bool take(std::size_t n, std::vector<std::uint8_t>& out) {
-    if (pos_ + n > in_.size()) return false;
-    out.assign(in_.begin() + static_cast<long>(pos_),
-               in_.begin() + static_cast<long>(pos_ + n));
+    if (pos_ + n > size_) return false;
+    out.assign(data_ + pos_, data_ + pos_ + n);
     pos_ += n;
     return true;
   }
@@ -65,16 +65,17 @@ class Reader {
     std::uint8_t size = 0;
     if (!u8(size)) return false;
     std::array<std::uint8_t, util::Bitmap::kMaxBytes> raw{};
-    if (pos_ + raw.size() > in_.size()) return false;
-    std::memcpy(raw.data(), in_.data() + pos_, raw.size());
+    if (pos_ + raw.size() > size_) return false;
+    std::memcpy(raw.data(), data_ + pos_, raw.size());
     pos_ += raw.size();
     b = util::Bitmap::from_bytes(raw, size);
     return true;
   }
-  std::size_t remaining() const { return in_.size() - pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
 
  private:
-  const std::vector<std::uint8_t>& in_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 
@@ -334,15 +335,14 @@ std::vector<std::uint8_t> encode(const Packet& pkt) {
   return std::move(w.out());
 }
 
-std::optional<Packet> decode(const std::vector<std::uint8_t>& frame) {
-  if (frame.size() < 2 + 2 + 1 + 2) return std::nullopt;
-  const std::uint16_t expected =
-      static_cast<std::uint16_t>(frame[frame.size() - 2] |
-                                 (frame[frame.size() - 1] << 8));
-  if (crc16(frame.data(), frame.size() - 2) != expected) return std::nullopt;
+std::optional<Packet> decode(const std::uint8_t* frame, std::size_t length) {
+  if (length < 2 + 2 + 1 + 2) return std::nullopt;
+  const std::uint16_t expected = static_cast<std::uint16_t>(
+      frame[length - 2] | (frame[length - 1] << 8));
+  if (crc16(frame, length - 2) != expected) return std::nullopt;
 
-  std::vector<std::uint8_t> body(frame.begin(), frame.end() - 2);
-  Reader r(body);
+  // Parse the body in place (everything before the CRC trailer).
+  Reader r(frame, length - 2);
   std::uint16_t dest = 0, src = 0;
   std::uint8_t type_raw = 0;
   if (!r.u16(dest) || !r.u16(src) || !r.u8(type_raw)) return std::nullopt;

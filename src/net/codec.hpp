@@ -30,8 +30,14 @@ std::vector<std::uint8_t> encode(const Packet& pkt);
 
 /// Parses a frame; returns std::nullopt on truncation, unknown type, or
 /// CRC mismatch. power_scale is link metadata, not wire content, so the
-/// decoded packet always carries the default 1.0.
-std::optional<Packet> decode(const std::vector<std::uint8_t>& frame);
+/// decoded packet always carries the default 1.0. Span-style: callers
+/// holding pooled or borrowed buffers decode in place, no vector needed.
+std::optional<Packet> decode(const std::uint8_t* frame, std::size_t length);
+
+/// Thin overload for vector-holding callers.
+inline std::optional<Packet> decode(const std::vector<std::uint8_t>& frame) {
+  return decode(frame.data(), frame.size());
+}
 
 /// CRC-16-CCITT used by the frame trailer.
 std::uint16_t crc16(const std::uint8_t* data, std::size_t length);

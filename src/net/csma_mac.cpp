@@ -15,7 +15,7 @@ CsmaMac::CsmaMac(Radio& radio, sim::Scheduler& scheduler, sim::Rng rng,
 CsmaMac::CsmaMac(Radio& radio, sim::Scheduler& scheduler, sim::Rng rng)
     : CsmaMac(radio, scheduler, std::move(rng), Params{}) {}
 
-bool CsmaMac::send(Packet pkt) {
+bool CsmaMac::send(FramePtr frame) {
   if (!radio_.is_on()) {
     ++packets_dropped_;
     return false;
@@ -24,9 +24,13 @@ bool CsmaMac::send(Packet pkt) {
     ++packets_dropped_;
     return false;
   }
-  queue_.push_back(std::move(pkt));
+  queue_.push_back(std::move(frame));
   if (!in_flight_ && !backoff_.pending()) arm_backoff(/*congestion=*/false);
   return true;
+}
+
+bool CsmaMac::send(Packet pkt) {
+  return send(radio_.channel().frame_pool().adopt(std::move(pkt)));
 }
 
 void CsmaMac::flush() {
@@ -56,11 +60,11 @@ void CsmaMac::backoff_expired() {
   // attempt only when clear.
   if (radio_.is_listening() && carrier_clear()) {
     retries_ = 0;
-    Packet pkt = std::move(queue_.front());
+    FramePtr frame = std::move(queue_.front());
     queue_.pop_front();
     in_flight_ = true;
-    last_sent_ = pkt;
-    if (!radio_.start_transmission(std::move(pkt))) {
+    last_sent_ = frame;  // refcount bump, not a Packet copy
+    if (!radio_.start_transmission(std::move(frame))) {
       in_flight_ = false;
       ++packets_dropped_;
       if (!queue_.empty()) arm_backoff(false);
@@ -85,7 +89,8 @@ void CsmaMac::transmission_finished() {
   if (!in_flight_) return;  // send-done for a transmission we didn't start
   in_flight_ = false;
   ++packets_sent_;
-  if (send_done_) send_done_(last_sent_);
+  if (send_done_) send_done_(*last_sent_);
+  last_sent_.reset();
   if (!queue_.empty()) {
     scheduler_.post_after(params_.inter_packet_gap, [this] {
       if (!in_flight_ && !queue_.empty() && !backoff_.pending()) {

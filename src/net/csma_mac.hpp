@@ -40,8 +40,9 @@ class CsmaMac final : public Mac {
   /// Default-parameter convenience overload.
   CsmaMac(Radio& radio, sim::Scheduler& scheduler, sim::Rng rng);
 
-  /// Enqueues `pkt` for transmission. Returns false (packet dropped) when
-  /// the queue is full or the radio is off.
+  /// Enqueues a shared frame for transmission. Returns false (packet
+  /// dropped) when the queue is full or the radio is off.
+  bool send(FramePtr frame) override;
   bool send(Packet pkt) override;
 
   /// Drops all queued packets and cancels any pending backoff. Called when
@@ -70,8 +71,8 @@ class CsmaMac final : public Mac {
   sim::Scheduler& scheduler_;
   sim::Rng rng_;
   Params params_;
-  std::deque<Packet> queue_;
-  Packet last_sent_;
+  std::deque<FramePtr> queue_;
+  FramePtr last_sent_;
   sim::EventHandle backoff_;
   bool in_flight_ = false;
   std::size_t retries_ = 0;

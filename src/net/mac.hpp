@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "net/frame.hpp"
 #include "net/packet.hpp"
 
 namespace mnp::net {
@@ -17,8 +18,13 @@ class Mac {
  public:
   virtual ~Mac() = default;
 
-  /// Enqueues `pkt`. Returns false (dropped) when the queue is full or the
-  /// radio is off.
+  /// Enqueues the shared frame — the zero-copy hot path. The MAC holds a
+  /// reference in its queue; the Packet inside is never copied again.
+  virtual bool send(FramePtr frame) = 0;
+
+  /// Convenience: wraps `pkt` into a frame (via the radio's channel pool)
+  /// and enqueues it. Returns false (dropped) when the queue is full or
+  /// the radio is off.
   virtual bool send(Packet pkt) = 0;
 
   /// Drops queued packets and pending backoffs/slots. Called when the

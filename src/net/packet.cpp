@@ -2,7 +2,7 @@
 
 namespace mnp::net {
 
-std::string to_string(PacketType type) {
+const char* type_name(PacketType type) {
   switch (type) {
     case PacketType::kAdvertisement: return "Advertisement";
     case PacketType::kDownloadRequest: return "DownloadRequest";
@@ -24,6 +24,8 @@ std::string to_string(PacketType type) {
   }
   return "Unknown";
 }
+
+std::string to_string(PacketType type) { return type_name(type); }
 
 bool is_bulk_data(PacketType type) {
   switch (type) {

@@ -211,6 +211,10 @@ enum class PacketType : std::uint8_t {
 /// Human-readable type tag for reports.
 std::string to_string(PacketType type);
 
+/// Same tag as a static string — the allocation-free spelling the trace
+/// hot path records (EventLog stores details inline).
+const char* type_name(PacketType type);
+
 /// True for bulk code-carrying packets (used by the channel's concurrent-
 /// sender monitor and by message accounting).
 bool is_bulk_data(PacketType type);

@@ -34,15 +34,19 @@ void Radio::turn_off() {
   }
 }
 
-bool Radio::start_transmission(Packet pkt) {
+bool Radio::start_transmission(FramePtr frame) {
   if (state_ != State::kListening) return false;
   channel_.radio_stopped_listening(id_);  // half-duplex: stop receiving
   state_ = State::kTransmitting;
   meter_.count_tx_packet();
-  const sim::Time airtime = channel_.airtime(pkt);
-  channel_.begin_transmission(id_, std::move(pkt));
+  const sim::Time airtime = channel_.airtime(*frame);
+  channel_.begin_transmission(id_, std::move(frame));
   scheduler_.post_after(airtime, [this] { finish_transmission(); });
   return true;
+}
+
+bool Radio::start_transmission(Packet pkt) {
+  return start_transmission(channel_.frame_pool().adopt(std::move(pkt)));
 }
 
 void Radio::finish_transmission() {

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "energy/energy_meter.hpp"
+#include "net/frame.hpp"
 #include "net/packet.hpp"
 #include "sim/scheduler.hpp"
 
@@ -42,9 +43,11 @@ class Radio {
   /// deferred until the transmission completes.
   void turn_off();
 
-  /// Starts transmitting `pkt` immediately (no carrier sense here — that
-  /// is the MAC's job). Returns false if the radio is off or already
-  /// transmitting. The packet occupies the channel for its airtime.
+  /// Starts transmitting the shared frame immediately (no carrier sense
+  /// here — that is the MAC's job). Returns false if the radio is off or
+  /// already transmitting. The packet occupies the channel for its airtime.
+  bool start_transmission(FramePtr frame);
+  /// Convenience overload: wraps `pkt` into a frame via the channel pool.
   bool start_transmission(Packet pkt);
 
   /// Channel -> radio: a packet decoded successfully at this node.
@@ -54,6 +57,7 @@ class Radio {
   bool senses_carrier() const;
 
   energy::EnergyMeter& meter() { return meter_; }
+  Channel& channel() { return channel_; }
 
  private:
   void finish_transmission();

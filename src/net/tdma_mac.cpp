@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "net/channel.hpp"
+
 namespace mnp::net {
 
 std::uint32_t TdmaMac::tile_for_grid(double spacing_ft, double range_ft,
@@ -28,7 +30,7 @@ TdmaMac::TdmaMac(Radio& radio, sim::Scheduler& scheduler, Params params)
   radio_.set_send_done_handler([this] { transmission_finished(); });
 }
 
-bool TdmaMac::send(Packet pkt) {
+bool TdmaMac::send(FramePtr frame) {
   if (!radio_.is_on()) {
     ++packets_dropped_;
     return false;
@@ -37,9 +39,13 @@ bool TdmaMac::send(Packet pkt) {
     ++packets_dropped_;
     return false;
   }
-  queue_.push_back(std::move(pkt));
+  queue_.push_back(std::move(frame));
   if (!slot_timer_.pending()) arm_next_slot();
   return true;
+}
+
+bool TdmaMac::send(Packet pkt) {
+  return send(radio_.channel().frame_pool().adopt(std::move(pkt)));
 }
 
 void TdmaMac::flush() {
@@ -69,11 +75,11 @@ void TdmaMac::slot_fired() {
     flush();
     return;
   }
-  Packet pkt = std::move(queue_.front());
+  FramePtr frame = std::move(queue_.front());
   queue_.pop_front();
-  last_sent_ = pkt;
+  last_sent_ = frame;  // refcount bump, not a Packet copy
   in_flight_ = true;
-  if (!radio_.start_transmission(std::move(pkt))) {
+  if (!radio_.start_transmission(std::move(frame))) {
     in_flight_ = false;
     ++packets_dropped_;
   }
@@ -84,7 +90,8 @@ void TdmaMac::transmission_finished() {
   if (!in_flight_) return;
   in_flight_ = false;
   ++packets_sent_;
-  if (send_done_) send_done_(last_sent_);
+  if (send_done_) send_done_(*last_sent_);
+  last_sent_.reset();
   if (!queue_.empty() && !slot_timer_.pending()) arm_next_slot();
 }
 

@@ -48,6 +48,7 @@ class TdmaMac final : public Mac {
 
   TdmaMac(Radio& radio, sim::Scheduler& scheduler, Params params);
 
+  bool send(FramePtr frame) override;
   bool send(Packet pkt) override;
   void flush() override;
   std::size_t queue_depth() const override { return queue_.size(); }
@@ -71,8 +72,8 @@ class TdmaMac final : public Mac {
   Radio& radio_;
   sim::Scheduler& scheduler_;
   Params params_;
-  std::deque<Packet> queue_;
-  Packet last_sent_;
+  std::deque<FramePtr> queue_;
+  FramePtr last_sent_;
   sim::EventHandle slot_timer_;
   bool in_flight_ = false;
   std::uint64_t packets_sent_ = 0;

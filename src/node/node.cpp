@@ -38,7 +38,9 @@ void Node::boot() {
 bool Node::send(net::Packet pkt) {
   if (dead_) return false;
   pkt.src = id_;
-  return mac_->send(std::move(pkt));
+  // The one place an outgoing packet becomes a shared frame: everything
+  // downstream (MAC queue, channel, every receiver) references this copy.
+  return mac_->send(frame_pool().adopt(std::move(pkt)));
 }
 
 void Node::kill() {

@@ -50,8 +50,14 @@ class Node {
   }
 
   /// Queues `pkt` on the MAC (src is stamped here). Returns false if
-  /// dropped (queue full / radio off).
+  /// dropped (queue full / radio off). The packet is wrapped exactly once
+  /// into a shared frame; it is never copied again on its way to the air.
   bool send(net::Packet pkt);
+
+  /// The channel-wide frame/payload pool. Protocols stream code packets by
+  /// filling pool buffers (acquire_payload) so steady-state sends recycle
+  /// instead of allocating.
+  net::FramePool& frame_pool() { return radio_.channel().frame_pool(); }
 
   void radio_on() {
     if (!dead_) radio_.turn_on();

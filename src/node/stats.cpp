@@ -69,7 +69,7 @@ void StatsCollector::on_transmit(net::NodeId src, const net::Packet& pkt,
   ++timeline_[minute][static_cast<std::size_t>(classify(pkt.type()))];
   if (event_log_) {
     event_log_->record(now, src, trace::EventKind::kPacketSent,
-                       net::to_string(pkt.type()));
+                       std::string_view(net::type_name(pkt.type())));
   }
 }
 
@@ -78,7 +78,7 @@ void StatsCollector::on_deliver(net::NodeId /*src*/, net::NodeId dst,
   if (dst < nodes_.size()) ++nodes_[dst].received[pkt.type()];
   if (event_log_) {
     event_log_->record(now, dst, trace::EventKind::kPacketReceived,
-                       net::to_string(pkt.type()));
+                       std::string_view(net::type_name(pkt.type())));
   }
 }
 
@@ -105,7 +105,7 @@ void StatsCollector::on_segment_completed(net::NodeId id, std::uint16_t seg,
   if (v[seg - 1] < 0) v[seg - 1] = now;
   if (event_log_) {
     event_log_->record(now, id, trace::EventKind::kSegmentCompleted,
-                       std::to_string(seg));
+                       static_cast<std::uint64_t>(seg));
   }
 }
 

@@ -27,11 +27,19 @@ bool Eeprom::write(std::size_t offset, const std::vector<std::uint8_t>& bytes) {
 }
 
 std::vector<std::uint8_t> Eeprom::read(std::size_t offset, std::size_t length) {
-  if (offset > data_.size() || length > data_.size() - offset) return {};
+  std::vector<std::uint8_t> out;
+  read_into(offset, length, out);
+  return out;
+}
+
+void Eeprom::read_into(std::size_t offset, std::size_t length,
+                       std::vector<std::uint8_t>& out) {
+  out.clear();
+  if (offset > data_.size() || length > data_.size() - offset) return;
   ++total_reads_;
   if (meter_) meter_->count_eeprom_read(length);
-  return {data_.begin() + static_cast<long>(offset),
-          data_.begin() + static_cast<long>(offset + length)};
+  out.insert(out.end(), data_.begin() + static_cast<long>(offset),
+             data_.begin() + static_cast<long>(offset + length));
 }
 
 void Eeprom::erase() {

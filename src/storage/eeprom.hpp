@@ -32,6 +32,11 @@ class Eeprom {
   /// range error.
   std::vector<std::uint8_t> read(std::size_t offset, std::size_t length);
 
+  /// Allocation-free variant: fills `out` (typically a pooled buffer) with
+  /// the bytes; leaves it empty on a range error.
+  void read_into(std::size_t offset, std::size_t length,
+                 std::vector<std::uint8_t>& out);
+
   /// Erases all content and per-byte write marks (new reprogramming round).
   void erase();
 

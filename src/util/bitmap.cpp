@@ -5,6 +5,20 @@
 
 namespace mnp::util {
 
+namespace {
+
+/// Mask covering the low `bits` bits of one word (bits in [0, 64]).
+std::uint64_t bit_mask(std::size_t bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+/// Bits of a `size`-bit value that land in word `w`.
+std::size_t bits_in_word(std::size_t size, std::size_t w) {
+  return size > 64 * w ? (size - 64 * w > 64 ? 64 : size - 64 * w) : 0;
+}
+
+}  // namespace
+
 Bitmap::Bitmap(std::size_t size) : size_(std::min(size, kMaxBits)) {}
 
 Bitmap Bitmap::all_set(std::size_t size) {
@@ -13,67 +27,77 @@ Bitmap Bitmap::all_set(std::size_t size) {
   return b;
 }
 
-bool Bitmap::test(std::size_t i) const {
-  if (i >= size_) return false;
-  return (bits_[i / 8] >> (i % 8)) & 1u;
-}
-
-void Bitmap::set(std::size_t i) {
-  if (i >= size_) return;
-  bits_[i / 8] = static_cast<std::uint8_t>(bits_[i / 8] | (1u << (i % 8)));
-}
-
-void Bitmap::clear(std::size_t i) {
-  if (i >= size_) return;
-  bits_[i / 8] = static_cast<std::uint8_t>(bits_[i / 8] & ~(1u << (i % 8)));
-}
-
 void Bitmap::set_all() {
-  bits_.fill(0);
-  for (std::size_t i = 0; i < size_; ++i) set(i);
+  for (std::size_t w = 0; w < kWords; ++w) {
+    words_[w] = bit_mask(bits_in_word(size_, w));
+  }
 }
-
-void Bitmap::clear_all() { bits_.fill(0); }
 
 std::size_t Bitmap::count() const {
+  // Storage past byte_size() is always zero; bits between size_ and the
+  // byte boundary may be set by a byte-granular |= with a larger operand
+  // and are deliberately counted (the historical byte-wise semantics).
   std::size_t n = 0;
-  for (std::size_t byte = 0; byte < byte_size(); ++byte) {
-    n += static_cast<std::size_t>(std::popcount(bits_[byte]));
+  for (const std::uint64_t w : words_) {
+    n += static_cast<std::size_t>(std::popcount(w));
   }
   return n;
 }
 
 std::size_t Bitmap::find_first_set(std::size_t from) const {
-  for (std::size_t i = from; i < size_; ++i) {
-    if (test(i)) return i;
+  if (from >= size_) return size_;
+  std::size_t w = from / 64;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (from % 64));
+  while (true) {
+    // Unlike count(), iteration never yields bits at/after size_.
+    word &= bit_mask(bits_in_word(size_, w));
+    if (word != 0) {
+      return 64 * w + static_cast<std::size_t>(std::countr_zero(word));
+    }
+    ++w;
+    if (w >= kWords || 64 * w >= size_) return size_;
+    word = words_[w];
   }
-  return size_;
 }
 
 Bitmap& Bitmap::operator|=(const Bitmap& other) {
+  // Byte-granular like the original: ORs whole bytes up to the smaller
+  // byte_size(), which may set bits past a non-multiple-of-8 size_.
   const std::size_t bytes = std::min(byte_size(), other.byte_size());
-  for (std::size_t i = 0; i < bytes; ++i) bits_[i] |= other.bits_[i];
+  for (std::size_t w = 0; w < kWords; ++w) {
+    const std::size_t k = bytes > 8 * w ? (bytes - 8 * w > 8 ? 8 : bytes - 8 * w) : 0;
+    words_[w] |= other.words_[w] & byte_mask(k);
+  }
   return *this;
 }
 
 Bitmap& Bitmap::operator&=(const Bitmap& other) {
-  for (std::size_t i = 0; i < byte_size(); ++i) {
-    bits_[i] &= (i < other.byte_size()) ? other.bits_[i] : std::uint8_t{0};
+  for (std::size_t w = 0; w < kWords; ++w) {
+    const std::uint64_t mine = byte_mask(bytes_in_word(w));
+    const std::uint64_t theirs = byte_mask(other.bytes_in_word(w));
+    const std::uint64_t other_eff = other.words_[w] & theirs;
+    words_[w] = (words_[w] & ~mine) | (words_[w] & other_eff & mine);
   }
   return *this;
 }
 
-bool Bitmap::operator==(const Bitmap& other) const {
-  return size_ == other.size_ && bits_ == other.bits_;
+std::array<std::uint8_t, Bitmap::kMaxBytes> Bitmap::to_bytes() const {
+  std::array<std::uint8_t, kMaxBytes> out{};
+  for (std::size_t i = 0; i < kMaxBytes; ++i) {
+    out[i] = static_cast<std::uint8_t>(words_[i / 8] >> (8 * (i % 8)));
+  }
+  return out;
 }
 
 Bitmap Bitmap::from_bytes(const std::array<std::uint8_t, kMaxBytes>& bytes,
                           std::size_t size) {
   Bitmap b(size);
-  b.bits_ = bytes;
+  for (std::size_t i = 0; i < kMaxBytes; ++i) {
+    b.words_[i / 8] |= static_cast<std::uint64_t>(bytes[i]) << (8 * (i % 8));
+  }
   // Mask out bits beyond `size` so equality and count stay well-defined.
-  for (std::size_t i = b.size_; i < kMaxBits; ++i) {
-    b.bits_[i / 8] = static_cast<std::uint8_t>(b.bits_[i / 8] & ~(1u << (i % 8)));
+  for (std::size_t w = 0; w < kWords; ++w) {
+    b.words_[w] &= bit_mask(bits_in_word(b.size_, w));
   }
   return b;
 }
@@ -85,19 +109,38 @@ std::string Bitmap::to_string() const {
   return s;
 }
 
+void BigBitmap::set_all() {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    words_[w] = bit_mask(bits_in_word(size_, w));
+  }
+}
+
 std::size_t BigBitmap::count() const {
-  return static_cast<std::size_t>(std::count(bits_.begin(), bits_.end(), true));
+  std::size_t n = 0;
+  for (const std::uint64_t w : words_) {
+    n += static_cast<std::size_t>(std::popcount(w));
+  }
+  return n;
 }
 
 std::size_t BigBitmap::find_first_set(std::size_t from) const {
-  for (std::size_t i = from; i < bits_.size(); ++i) {
-    if (bits_[i]) return i;
+  if (from >= size_) return size_;
+  std::size_t w = from / 64;
+  std::uint64_t word = words_[w] & (~std::uint64_t{0} << (from % 64));
+  while (true) {
+    if (word != 0) {
+      // Bits at/after size_ are never stored, so this index is in range.
+      return 64 * w + static_cast<std::size_t>(std::countr_zero(word));
+    }
+    ++w;
+    if (w >= words_.size()) return size_;
+    word = words_[w];
   }
-  return bits_.size();
 }
 
 Bitmap BigBitmap::window(std::size_t base) const {
-  const std::size_t width = std::min(Bitmap::kMaxBits, bits_.size() - std::min(base, bits_.size()));
+  const std::size_t width =
+      std::min(Bitmap::kMaxBits, size_ - std::min(base, size_));
   Bitmap w(width);
   for (std::size_t i = 0; i < width; ++i) {
     if (test(base + i)) w.set(i);

@@ -5,9 +5,14 @@
 // models exactly that: a compact bit vector with a byte-serializable
 // representation and the set-algebra operations the protocol needs
 // (union for ForwardVector accumulation, iteration for transmission order).
+//
+// Storage is two uint64 words so count/union/intersection/find_first_set
+// compile to popcount/ctz instead of bit-at-a-time loops — these run
+// inside every download-request merge and forward-vector scan. The wire
+// format (little-bit-endian bytes) is unchanged: byte k of to_bytes()
+// still holds bits 8k..8k+7.
 #pragma once
 
-#include <algorithm>
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -23,6 +28,7 @@ class Bitmap {
  public:
   static constexpr std::size_t kMaxBits = 128;
   static constexpr std::size_t kMaxBytes = kMaxBits / 8;
+  static constexpr std::size_t kWords = kMaxBits / 64;
 
   /// Creates a bitmap of `size` bits, all cleared.
   /// Precondition: size <= kMaxBits (clamped otherwise).
@@ -35,11 +41,20 @@ class Bitmap {
   std::size_t size() const { return size_; }
   std::size_t byte_size() const { return (size_ + 7) / 8; }
 
-  bool test(std::size_t i) const;
-  void set(std::size_t i);
-  void clear(std::size_t i);
+  bool test(std::size_t i) const {
+    if (i >= size_) return false;
+    return (words_[i / 64] >> (i % 64)) & 1u;
+  }
+  void set(std::size_t i) {
+    if (i >= size_) return;
+    words_[i / 64] |= std::uint64_t{1} << (i % 64);
+  }
+  void clear(std::size_t i) {
+    if (i >= size_) return;
+    words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
+  }
   void set_all();
-  void clear_all();
+  void clear_all() { words_.fill(0); }
 
   /// Number of set bits.
   std::size_t count() const;
@@ -57,11 +72,13 @@ class Bitmap {
 
   friend Bitmap operator|(Bitmap a, const Bitmap& b) { return a |= b; }
   friend Bitmap operator&(Bitmap a, const Bitmap& b) { return a &= b; }
-  bool operator==(const Bitmap& other) const;
+  bool operator==(const Bitmap& other) const {
+    return size_ == other.size_ && words_ == other.words_;
+  }
 
   /// Raw bytes (little-bit-endian within a byte), length byte_size().
   /// This is the on-air representation carried inside download requests.
-  std::array<std::uint8_t, kMaxBytes> to_bytes() const { return bits_; }
+  std::array<std::uint8_t, kMaxBytes> to_bytes() const;
   static Bitmap from_bytes(const std::array<std::uint8_t, kMaxBytes>& bytes,
                            std::size_t size);
 
@@ -69,18 +86,31 @@ class Bitmap {
   std::string to_string() const;
 
  private:
+  /// Mask covering the low `bytes` bytes of one word (bytes in [0, 8]).
+  static std::uint64_t byte_mask(std::size_t bytes) {
+    return bytes >= 8 ? ~std::uint64_t{0}
+                      : (std::uint64_t{1} << (8 * bytes)) - 1;
+  }
+  /// Bytes of this bitmap's storage that land in word `w`.
+  std::size_t bytes_in_word(std::size_t w) const {
+    const std::size_t total = byte_size();
+    return total > 8 * w ? (total - 8 * w > 8 ? 8 : total - 8 * w) : 0;
+  }
+
   std::size_t size_ = 0;
-  std::array<std::uint8_t, kMaxBytes> bits_{};
+  std::array<std::uint64_t, kWords> words_{};
 };
 
 /// Arbitrarily sized bitmap for the paper's *large segment* variant
 /// (section 3.3): when pipelining is off, a segment may exceed 128 packets
 /// and the receiver tracks loss in EEPROM instead of RAM. On the wire the
 /// missing information still travels as 128-bit windows (`window`), which
-/// the sender merges back with `merge_window`.
+/// the sender merges back with `merge_window`. Word-backed like Bitmap so
+/// count and first-set scans are popcount/ctz over uint64 words.
 class BigBitmap {
  public:
-  explicit BigBitmap(std::size_t size = 0) : bits_(size, false) {}
+  explicit BigBitmap(std::size_t size = 0)
+      : size_(size), words_((size + 63) / 64, 0) {}
 
   static BigBitmap all_set(std::size_t size) {
     BigBitmap b(size);
@@ -88,16 +118,18 @@ class BigBitmap {
     return b;
   }
 
-  std::size_t size() const { return bits_.size(); }
-  bool test(std::size_t i) const { return i < bits_.size() && bits_[i]; }
+  std::size_t size() const { return size_; }
+  bool test(std::size_t i) const {
+    return i < size_ && ((words_[i / 64] >> (i % 64)) & 1u);
+  }
   void set(std::size_t i) {
-    if (i < bits_.size()) bits_[i] = true;
+    if (i < size_) words_[i / 64] |= std::uint64_t{1} << (i % 64);
   }
   void clear(std::size_t i) {
-    if (i < bits_.size()) bits_[i] = false;
+    if (i < size_) words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
   }
-  void set_all() { std::fill(bits_.begin(), bits_.end(), true); }
-  void clear_all() { std::fill(bits_.begin(), bits_.end(), false); }
+  void set_all();
+  void clear_all() { std::fill(words_.begin(), words_.end(), 0); }
   std::size_t count() const;
   bool none() const { return count() == 0; }
   bool any() const { return count() > 0; }
@@ -109,7 +141,8 @@ class BigBitmap {
   void merge_window(std::size_t base, const Bitmap& w);
 
  private:
-  std::vector<bool> bits_;
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
 };
 
 }  // namespace mnp::util

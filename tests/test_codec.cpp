@@ -193,6 +193,30 @@ TEST(Codec, UnknownTypeRejected) {
   EXPECT_FALSE(decode(frame).has_value());
 }
 
+TEST(Codec, SpanDecodeMatchesVectorDecode) {
+  // decode() is span-style so pooled/borrowed buffers parse in place; the
+  // vector overload is a thin shim over the same parser.
+  DataMsg m;
+  m.seg_id = 2;
+  m.pkt_id = 17;
+  m.payload.assign(22, 0xC3);
+  const auto frame = encode(make(std::move(m)));
+
+  const auto from_span = decode(frame.data(), frame.size());
+  const auto from_vector = decode(frame);
+  ASSERT_TRUE(from_span.has_value());
+  ASSERT_TRUE(from_vector.has_value());
+  EXPECT_EQ(from_span->src, from_vector->src);
+  EXPECT_EQ(from_span->type(), from_vector->type());
+  EXPECT_EQ(from_span->as<DataMsg>()->payload,
+            from_vector->as<DataMsg>()->payload);
+
+  // Span bounds are honoured: a short length is a truncated frame, not a
+  // read past the end.
+  EXPECT_FALSE(decode(frame.data(), frame.size() - 1).has_value());
+  EXPECT_FALSE(decode(frame.data(), 0).has_value());
+}
+
 TEST(Codec, Crc16KnownVector) {
   // CRC-16-CCITT (init 0xFFFF) of "123456789" is 0x29B1.
   const std::uint8_t digits[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};

@@ -93,6 +93,9 @@ TEST(Sweep, ParallelJobsBitIdenticalToSequential) {
   SweepOptions parallel;
   parallel.jobs = 4;
   parallel.keep_raw = true;
+  // Exercise the real thread pool even on a 1-core CI host, where the
+  // oversubscription clamp would otherwise fall back to sequential.
+  parallel.allow_oversubscribe = true;
 
   const auto a = run_sweep(tiny(), 6, /*first_seed=*/20, sequential);
   const auto b = run_sweep(tiny(), 6, /*first_seed=*/20, parallel);
@@ -116,9 +119,28 @@ TEST(Sweep, ParallelJobsBitIdenticalToSequential) {
 TEST(Sweep, MoreJobsThanRunsIsFine) {
   SweepOptions options;
   options.jobs = 16;
+  options.allow_oversubscribe = true;
   const auto sweep = run_sweep(tiny(), 2, 1, options);
   EXPECT_EQ(sweep.runs, 2u);
   EXPECT_EQ(sweep.fully_completed_runs, 2u);
+}
+
+TEST(Sweep, EffectiveJobsClampsToHardwareConcurrency) {
+  // The regression BENCH_sweep.json exposed: "auto" on a 1-core host used
+  // to spin up 2-4 workers and run *slower* than sequential. The clamp
+  // caps workers at the core count...
+  EXPECT_EQ(effective_sweep_jobs(4, 100, /*hardware=*/1, false), 1u);
+  EXPECT_EQ(effective_sweep_jobs(8, 100, /*hardware=*/4, false), 4u);
+  // ...without inflating a smaller request,
+  EXPECT_EQ(effective_sweep_jobs(2, 100, /*hardware=*/8, false), 2u);
+  // never exceeds the number of runs,
+  EXPECT_EQ(effective_sweep_jobs(4, 3, /*hardware=*/8, false), 3u);
+  // treats degenerate inputs as sequential,
+  EXPECT_EQ(effective_sweep_jobs(0, 100, /*hardware=*/0, false), 1u);
+  // and is bypassed entirely when oversubscription is explicitly allowed
+  // (still clamped to runs — extra workers would just find no work).
+  EXPECT_EQ(effective_sweep_jobs(4, 100, /*hardware=*/1, true), 4u);
+  EXPECT_EQ(effective_sweep_jobs(16, 2, /*hardware=*/1, true), 2u);
 }
 
 TEST(Sweep, ResolveJobsPassesExplicitValueThrough) {

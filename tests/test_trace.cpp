@@ -2,6 +2,7 @@
 // with a live MNP dissemination.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "mnp/mnp_node.hpp"
@@ -35,6 +36,40 @@ TEST(EventLog, CapacityEvictsOldest) {
   const auto events = log.for_node(0);
   EXPECT_EQ(events.front().detail, "6");  // 0..5 evicted
   EXPECT_EQ(events.back().detail, "9");
+}
+
+TEST(EventLog, WrapKeepsRecordingOrderAcrossTheSeam) {
+  // Ring head in mid-buffer: events must still come back oldest-first.
+  EventLog log(3);
+  for (int i = 0; i < 7; ++i) {  // head ends up at slot 1 of 3
+    log.record(sim::sec(i), 0, EventKind::kNote, std::to_string(i));
+  }
+  const auto events = log.for_node(0);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].detail, "4");
+  EXPECT_EQ(events[1].detail, "5");
+  EXPECT_EQ(events[2].detail, "6");
+  EXPECT_EQ(log.dropped(), 4u);
+}
+
+TEST(EventLog, LongDetailIsTruncatedNotDropped) {
+  EventLog log;
+  const std::string lorem(100, 'x');
+  log.record(0, 0, EventKind::kNote, lorem);
+  const auto events = log.for_node(0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].detail, std::string(EventLog::kInlineDetail, 'x'));
+}
+
+TEST(EventLog, NumericDetailFormatsInline) {
+  EventLog log;
+  log.record(0, 0, EventKind::kSegmentCompleted, std::uint64_t{42});
+  log.record(0, 0, EventKind::kSegmentCompleted,
+             std::numeric_limits<std::uint64_t>::max());
+  const auto events = log.for_node(0);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].detail, "42");
+  EXPECT_EQ(events[1].detail, "18446744073709551615");
 }
 
 TEST(EventLog, ZeroCapacityDiscardsEverything) {

@@ -20,6 +20,8 @@ MoapNode::MoapNode(MoapConfig config,
 }
 
 void MoapNode::start(node::Node& node) {
+  // Entry guard: nodes boot in Idle (anchors mnp_lint's extraction).
+  assert(state_ == State::kIdle);
   node_ = &node;
   node_->radio_on();  // MOAP never turns the radio off
   if (image_) {
@@ -242,6 +244,12 @@ void MoapNode::handle_data(const Packet& pkt, const net::MoapDataMsg& msg) {
     publish_timer_.cancel();
     publish_timer_ =
         node_->schedule(config_.publish_defer, [this] { send_publish(); });
+    return;
+  }
+  if (state_ == State::kStreaming || state_ == State::kRepair) {
+    // Both states imply a complete image, which the has_complete_image()
+    // check below would reject anyway; returning here keeps the
+    // opportunistic-join assignment provably an Idle -> Subscribed edge.
     return;
   }
   if (state_ != State::kSubscribed) {

@@ -98,7 +98,11 @@ Delta Delta::compute(const std::vector<std::uint8_t>& old_image,
              old_image[off + len] == new_image[pos + len]) {
         ++len;
       }
-      if (len > best_len) {
+      // Deterministic tie-break: the unordered_multimap visits equal-hash
+      // chains in an unspecified order, so equal-length candidates must
+      // resolve by offset or the emitted script would vary across
+      // standard libraries. Longest match wins, then lowest old offset.
+      if (len > best_len || (len == best_len && len > 0 && off < best_off)) {
         best_len = len;
         best_off = off;
       }

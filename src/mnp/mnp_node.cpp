@@ -24,6 +24,9 @@ MnpNode::MnpNode(MnpConfig config, std::shared_ptr<const ProgramImage> image)
 }
 
 void MnpNode::start(node::Node& node) {
+  // Entry guard: nodes boot in Idle. Also anchors mnp_lint's transition
+  // extraction, which resolves the enter_* calls below against Idle.
+  assert(state_ == State::kIdle);
   node_ = &node;
   // Pipelined segments must keep their MissingVector inside one radio
   // packet; only the basic protocol may use larger (EEPROM-tracked)

@@ -132,12 +132,12 @@ class FramePool {
 
   /// Wraps `pkt` into a shared frame, reusing a pooled node when one is
   /// available.
-  FramePtr adopt(Packet&& pkt);
+  [[nodiscard]] FramePtr adopt(Packet&& pkt);
 
   /// An empty byte buffer whose capacity was stolen from a dead frame's
   /// payload whenever possible. Fill it and move it into a DataMsg-family
   /// payload; the pool gets the capacity back when that frame dies.
-  std::vector<std::uint8_t> acquire_payload();
+  [[nodiscard]] std::vector<std::uint8_t> acquire_payload();
 
   /// false = plain allocator mode (the brute-force reference path): every
   /// adopt allocates, every release frees, nothing is recycled.

@@ -30,7 +30,8 @@ class Eeprom {
 
   /// Reads `length` bytes at `offset` into a fresh vector; empty on a
   /// range error.
-  std::vector<std::uint8_t> read(std::size_t offset, std::size_t length);
+  [[nodiscard]] std::vector<std::uint8_t> read(std::size_t offset,
+                                               std::size_t length);
 
   /// Allocation-free variant: fills `out` (typically a pooled buffer) with
   /// the bytes; leaves it empty on a range error.

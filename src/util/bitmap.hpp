@@ -30,9 +30,13 @@ class Bitmap {
   static constexpr std::size_t kMaxBytes = kMaxBits / 8;
   static constexpr std::size_t kWords = kMaxBits / 64;
 
+  /// Empty bitmap (size 0). Non-explicit so message structs holding a
+  /// Bitmap member stay aggregate-initializable with {}.
+  Bitmap() = default;
+
   /// Creates a bitmap of `size` bits, all cleared.
   /// Precondition: size <= kMaxBits (clamped otherwise).
-  explicit Bitmap(std::size_t size = 0);
+  explicit Bitmap(std::size_t size);
 
   /// Creates a bitmap of `size` bits, all set. This is how MNP initializes
   /// a MissingVector: every packet starts out missing.
@@ -41,16 +45,20 @@ class Bitmap {
   std::size_t size() const { return size_; }
   std::size_t byte_size() const { return (size_ + 7) / 8; }
 
+  // The redundant `i >= kMaxBits` arm restates the size_ <= kMaxBits
+  // invariant where the optimizer can see it; without it GCC's
+  // -Warray-bounds flags the words_ access when it inlines a call with a
+  // provably out-of-range constant (the no-op path never reaches words_).
   bool test(std::size_t i) const {
-    if (i >= size_) return false;
+    if (i >= size_ || i >= kMaxBits) return false;
     return (words_[i / 64] >> (i % 64)) & 1u;
   }
   void set(std::size_t i) {
-    if (i >= size_) return;
+    if (i >= size_ || i >= kMaxBits) return;
     words_[i / 64] |= std::uint64_t{1} << (i % 64);
   }
   void clear(std::size_t i) {
-    if (i >= size_) return;
+    if (i >= size_ || i >= kMaxBits) return;
     words_[i / 64] &= ~(std::uint64_t{1} << (i % 64));
   }
   void set_all();
@@ -109,7 +117,10 @@ class Bitmap {
 /// count and first-set scans are popcount/ctz over uint64 words.
 class BigBitmap {
  public:
-  explicit BigBitmap(std::size_t size = 0)
+  /// Empty bitmap (size 0); see Bitmap() for why this is non-explicit.
+  BigBitmap() = default;
+
+  explicit BigBitmap(std::size_t size)
       : size_(size), words_((size + 63) / 64, 0) {}
 
   static BigBitmap all_set(std::size_t size) {

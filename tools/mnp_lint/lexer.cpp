@@ -1,0 +1,155 @@
+#include "lexer.hpp"
+
+#include <array>
+#include <cctype>
+
+namespace mnp::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Two-character punctuators the rules care about. Longer ones (<<=, ...)
+/// never matter to a rule, so splitting them into two tokens is harmless.
+constexpr std::array<std::string_view, 19> kTwoCharPunct = {
+    "==", "!=", "->", "::", "&&", "||", ">=", "<=", "+=", "-=",
+    "*=", "/=", "|=", "&=", "^=", "<<", ">>", "++", "--",
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto push = [&](Token::Kind kind, std::string text) {
+    out.push_back(Token{kind, std::move(text), line});
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: drop the whole (possibly continued) line.
+    if (c == '#' && (out.empty() || out.back().line != line)) {
+      while (i < n && src[i] != '\n') {
+        if (src[i] == '\\' && i + 1 < n && src[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    // String / char literal (contents dropped). Raw strings are handled
+    // well enough for lint fixtures: R"( ... )".
+    if (c == '"' || c == '\'') {
+      if (c == '"' && !out.empty() && out.back().ident() &&
+          (out.back().text == "R" || out.back().text.ends_with("R")) &&
+          i + 1 < n && src[i + 1] == '(') {
+        // Raw string R"delim( ... )delim" — find the delimiter.
+        std::size_t p = i + 1;
+        while (p < n && src[p] != '(') ++p;
+        const std::string delim = ")" + std::string(src.substr(i + 1, p - i - 1)) + "\"";
+        const std::size_t end = src.find(delim, p);
+        for (std::size_t k = i; k < end && k < n; ++k) {
+          if (src[k] == '\n') ++line;
+        }
+        i = (end == std::string_view::npos) ? n : end + delim.size();
+        out.pop_back();  // the R prefix is part of the literal
+        push(Token::Kind::kString, "");
+        continue;
+      }
+      const char quote = c;
+      ++i;
+      while (i < n && src[i] != quote) {
+        if (src[i] == '\\' && i + 1 < n) ++i;
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      if (i < n) ++i;  // closing quote
+      push(Token::Kind::kString, "");
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      push(Token::Kind::kIdent, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        ++j;
+      }
+      push(Token::Kind::kNumber, std::string(src.substr(i, j - i)));
+      i = j;
+      continue;
+    }
+    // Punctuation: prefer the two-char forms the rules match on.
+    if (i + 1 < n) {
+      const std::string_view two = src.substr(i, 2);
+      for (const std::string_view p : kTwoCharPunct) {
+        if (two == p) {
+          push(Token::Kind::kPunct, std::string(two));
+          i += 2;
+          goto next;
+        }
+      }
+    }
+    push(Token::Kind::kPunct, std::string(1, c));
+    ++i;
+  next:;
+  }
+  push(Token::Kind::kEnd, "");
+  return out;
+}
+
+std::size_t match_delim(const std::vector<Token>& tokens, std::size_t open) {
+  const std::string& o = tokens[open].text;
+  const std::string close = o == "(" ? ")" : o == "[" ? "]" : "}";
+  int depth = 0;
+  for (std::size_t i = open; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].text == o) {
+      ++depth;
+    } else if (tokens[i].text == close) {
+      if (--depth == 0) return i;
+    }
+  }
+  return tokens.empty() ? 0 : tokens.size() - 1;
+}
+
+}  // namespace mnp::lint

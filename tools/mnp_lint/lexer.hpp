@@ -1,0 +1,39 @@
+// Minimal C++ tokenizer for mnp_lint.
+//
+// The lint rules (DESIGN.md section 8) work on token streams, not ASTs: a
+// full frontend (libclang) is deliberately out of the dependency budget,
+// and the rules are written against this repository's idioms, which a
+// tokenizer resolves unambiguously. The lexer strips comments, string and
+// character literals and preprocessor lines, so a banned identifier inside
+// a comment or a log message never trips a rule.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mnp::lint {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kPunct, kString, kEnd };
+  Kind kind = Kind::kEnd;
+  std::string text;
+  int line = 1;
+
+  bool is(std::string_view t) const { return text == t; }
+  bool ident() const { return kind == Kind::kIdent; }
+};
+
+/// Tokenizes C++ source. Comments, literals' contents and preprocessor
+/// directives are dropped (strings survive as a single kString token with
+/// empty text so token adjacency stays meaningful). Always ends with one
+/// kEnd token.
+std::vector<Token> lex(std::string_view src);
+
+/// Index of the token matching the opener at `open` (which must be one of
+/// ( [ { ), honoring nesting; returns tokens.size()-1 (the kEnd token) if
+/// unbalanced.
+std::size_t match_delim(const std::vector<Token>& tokens, std::size_t open);
+
+}  // namespace mnp::lint

@@ -1,0 +1,114 @@
+// mnp_lint CLI.
+//
+//   mnp_lint --repo <root>     lint <root>/src against the specs and
+//                              allowlist in <root>/tools/mnp_lint/
+//   mnp_lint <root>            same
+//
+// Exit status: 0 clean, 1 findings, 2 usage/config error. Registered as
+// the `mnp_lint.src` CTest test and run by the CI `lint` job.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string rel_path(const fs::path& p, const fs::path& root) {
+  std::error_code ec;
+  const fs::path rel = fs::relative(p, root, ec);
+  return (ec ? p : rel).generic_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: mnp_lint [--repo] <repo-root>\n";
+      return 0;
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      std::cerr << "mnp_lint: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (root.empty()) root = ".";
+  const fs::path src_dir = root / "src";
+  const fs::path cfg_dir = root / "tools" / "mnp_lint";
+  if (!fs::is_directory(src_dir)) {
+    std::cerr << "mnp_lint: no src/ under " << root << "\n";
+    return 2;
+  }
+
+  // Collect the source set (sorted for stable output).
+  std::vector<mnp::lint::SourceFile> files;
+  for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp" && ext != ".h" && ext != ".cc") {
+      continue;
+    }
+    files.push_back(mnp::lint::SourceFile{rel_path(entry.path(), root),
+                                          read_file(entry.path())});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.path < b.path; });
+
+  // Machine specs: every *_transitions.txt next to this tool's sources.
+  std::vector<mnp::lint::MachineSpec> specs;
+  if (fs::is_directory(cfg_dir)) {
+    std::vector<fs::path> spec_paths;
+    for (const auto& entry : fs::directory_iterator(cfg_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.size() > 16 &&
+          name.compare(name.size() - 16, 16, "_transitions.txt") == 0) {
+        spec_paths.push_back(entry.path());
+      }
+    }
+    std::sort(spec_paths.begin(), spec_paths.end());
+    for (const fs::path& p : spec_paths) {
+      mnp::lint::MachineSpec spec;
+      std::string error;
+      if (!mnp::lint::parse_machine_spec(read_file(p), &spec, &error)) {
+        std::cerr << "mnp_lint: " << p.filename().string() << ": " << error
+                  << "\n";
+        return 2;
+      }
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  mnp::lint::Allowlist allow;
+  const fs::path allow_path = cfg_dir / "allowlist.txt";
+  if (fs::exists(allow_path)) {
+    allow = mnp::lint::parse_allowlist(read_file(allow_path));
+  }
+
+  const std::vector<mnp::lint::Diagnostic> diags =
+      mnp::lint::run_all(files, specs, allow);
+  for (const mnp::lint::Diagnostic& d : diags) {
+    std::cerr << d.str() << "\n";
+  }
+  std::cout << "mnp_lint: " << files.size() << " files, " << specs.size()
+            << " machine specs, " << diags.size() << " finding"
+            << (diags.size() == 1 ? "" : "s") << "\n";
+  return diags.empty() ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// Spec + allowlist parsing. The formats are line-oriented and documented
+// in DESIGN.md section 8; `#` starts a comment anywhere on a line.
+
+#include <algorithm>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace mnp::lint {
+
+namespace {
+
+/// Strips a trailing "# ..." comment and surrounding whitespace.
+std::string strip(const std::string& raw) {
+  std::string line = raw.substr(0, raw.find('#'));
+  const auto b = line.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = line.find_last_not_of(" \t\r");
+  return line.substr(b, e - b + 1);
+}
+
+std::vector<std::string> words(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> out;
+  std::string w;
+  while (in >> w) out.push_back(w);
+  return out;
+}
+
+}  // namespace
+
+std::string Diagnostic::str() const {
+  return file + ":" + std::to_string(line) + ": [" + rule + "] " + message;
+}
+
+bool MachineSpec::has_state(const std::string& s) const {
+  return std::find(states.begin(), states.end(), s) != states.end();
+}
+
+bool parse_machine_spec(const std::string& text, MachineSpec* spec,
+                        std::string* error) {
+  *spec = MachineSpec{};
+  std::istringstream in(text);
+  std::string raw;
+  int lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (error) *error = "line " + std::to_string(lineno) + ": " + why;
+    return false;
+  };
+  while (std::getline(in, raw)) {
+    ++lineno;
+    const std::string line = strip(raw);
+    if (line.empty()) continue;
+    const std::vector<std::string> w = words(line);
+    if (w[0] == "machine" && w.size() == 2) {
+      spec->name = w[1];
+    } else if (w[0] == "file" && w.size() == 2) {
+      spec->file = w[1];
+    } else if (w[0] == "states" && w.size() >= 2) {
+      spec->states.assign(w.begin() + 1, w.end());
+    } else if (w[0] == "transient" && w.size() == 3) {
+      spec->transient_state = w[1];
+      spec->transient_fn = w[2];
+    } else if (w[0] == "initial" && w.size() == 2) {
+      spec->initial = w[1];
+    } else if (w.size() == 3 && w[1] == "->") {
+      if (!spec->has_state(w[0]) || !spec->has_state(w[2])) {
+        return fail("transition references undeclared state: " + line);
+      }
+      if (w[0] == w[2]) return fail("self-transitions are implicit: " + line);
+      if (!spec->transitions.emplace(w[0], w[2]).second) {
+        return fail("duplicate transition: " + line);
+      }
+    } else {
+      return fail("unrecognized directive: " + line);
+    }
+  }
+  if (spec->name.empty()) return fail("missing 'machine' directive");
+  if (spec->file.empty()) return fail("missing 'file' directive");
+  if (spec->states.empty()) return fail("missing 'states' directive");
+  if (!spec->initial.empty() && !spec->has_state(spec->initial)) {
+    return fail("initial state not declared: " + spec->initial);
+  }
+  if (!spec->transient_state.empty() && !spec->has_state(spec->transient_state)) {
+    return fail("transient state not declared: " + spec->transient_state);
+  }
+  return true;
+}
+
+void Allowlist::add(std::string rule, std::string file, std::string token) {
+  entries_.push_back(Entry{std::move(rule), std::move(file), std::move(token)});
+}
+
+bool Allowlist::allows(const std::string& rule, const std::string& file,
+                       const std::string& token) const {
+  for (const Entry& e : entries_) {
+    if (e.rule != rule || e.token != token) continue;
+    // Match on path suffix so absolute and repo-relative spellings agree.
+    if (file == e.file ||
+        (file.size() > e.file.size() &&
+         file.compare(file.size() - e.file.size(), e.file.size(), e.file) == 0 &&
+         file[file.size() - e.file.size() - 1] == '/')) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Allowlist parse_allowlist(const std::string& text) {
+  Allowlist allow;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    const std::string line = strip(raw);
+    if (line.empty()) continue;
+    const std::vector<std::string> w = words(line);
+    if (w.size() >= 3) allow.add(w[0], w[1], w[2]);
+  }
+  return allow;
+}
+
+}  // namespace mnp::lint

@@ -1,0 +1,622 @@
+// Rule family 1: state-machine extraction and spec verification.
+//
+// The extractor reconstructs a protocol's transition table from its
+// sources without an AST. It understands the two transition idioms this
+// repository uses — `change_state(State::kX)` (MNP) and direct
+// `state_ = State::kX;` assignment (baselines) — and resolves each site's
+// *source* state from syntactic context:
+//
+//   * `switch (state_) { case State::kX: ... }` labels,
+//   * pure state guards: `if (state_ != State::kX) return;`,
+//     `if (state_ == State::kX) { ... }` (&&-conjoined and ||-disjoined
+//     forms included; a guard mixing states with other atoms refines the
+//     then-branch but never the code after it),
+//   * `assert(state_ == State::kX)` entry guards,
+//   * `if (state_ == State::kX) { ...; return; }` subtraction: code after
+//     a pure, returning guard runs in every *other* state,
+//   * helper attribution: a function that changes state before any
+//     context is established (MNP's `enter_*` family) exports that target
+//     to its call sites; attribution iterates to a fixed point, so
+//     helpers calling helpers resolve too,
+//   * lambdas inherit the context at their definition site (a timer armed
+//     in Download fires in Download — protocol code cancels timers on
+//     every transition, which is what makes this sound).
+//
+// The paper's transient Fail state has no enum value (MNP passes through
+// it atomically); the spec's `transient Fail fail` directive maps calls
+// of `fail()` to entering Fail, and analyzes `fail`'s own body in the
+// Fail context, which yields the Fail -> Idle / Fail -> Advertise edges.
+//
+// A transition site whose source state cannot be resolved is itself an
+// error: it means a public entry point mutates protocol state without a
+// guard the verifier (or a human) can reason about.
+
+#include <algorithm>
+#include <map>
+#include <optional>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace mnp::lint {
+
+namespace {
+
+using TokenVec = std::vector<Token>;
+using StateSet = std::set<std::string>;
+
+constexpr const char* kRule = "state-machine";
+
+/// Possible source states at a program point. `known == false` means "no
+/// context established yet" (distinct from the empty set).
+struct Ctx {
+  bool known = false;
+  StateSet states;
+
+  static Ctx unknown() { return Ctx{}; }
+  static Ctx of(StateSet s) { return Ctx{true, std::move(s)}; }
+};
+
+/// Caller-attributed targets of one function.
+struct FuncInfo {
+  std::size_t body_begin = 0, body_end = 0;  // token range, exclusive end
+  int line = 0;
+  StateSet immediate;  // state changes on the call's own control path
+  StateSet deferred;   // state changes armed via lambdas (timers)
+  bool called = false;
+};
+
+struct CondInfo {
+  StateSet positives, negatives;
+  bool pure = false;    // only state_ comparisons, && || ( )
+  bool has_or = false;
+  bool any_atom() const { return !positives.empty() || !negatives.empty(); }
+};
+
+bool is_keyword(const std::string& s) {
+  static const StateSet kKeywords = {
+      "if", "else", "for", "while", "do", "switch", "case", "default",
+      "return", "break", "continue", "goto", "new", "delete", "sizeof",
+      "throw", "co_return", "co_await", "static_cast", "const_cast",
+      "reinterpret_cast", "dynamic_cast", "assert"};
+  return kKeywords.count(s) > 0;
+}
+
+class Extractor {
+ public:
+  Extractor(const SourceFile& file, const MachineSpec& spec,
+            std::vector<Diagnostic>* diags)
+      : file_(file), spec_(spec), diags_(diags), tokens_(lex(file.content)) {
+    for (const std::string& s : spec_.states) {
+      if (s != spec_.transient_state) universe_.insert(s);
+    }
+  }
+
+  std::vector<ExtractedTransition> run() {
+    find_functions();
+    // Fixed point over caller-attributed targets, then one emitting pass.
+    for (std::size_t round = 0; round < funcs_.size() + 2; ++round) {
+      changed_ = false;
+      analyze_all(/*emit=*/false);
+      if (!changed_) break;
+    }
+    analyze_all(/*emit=*/true);
+    report_unattributed();
+    return std::move(out_);
+  }
+
+ private:
+  // --- function discovery -------------------------------------------------
+
+  void find_functions() {
+    const TokenVec& t = tokens_;
+    for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+      std::string name;
+      std::size_t paren = 0;
+      if (t[i].ident() && t[i + 1].is("::") && t[i + 2].ident() &&
+          t[i + 3].is("(")) {
+        name = t[i + 2].text;  // Class::method(
+        paren = i + 3;
+      } else if (t[i].ident() && t[i + 1].is("(") && i > 0 &&
+                 t[i - 1].ident() && !is_keyword(t[i - 1].text) &&
+                 !is_keyword(t[i].text)) {
+        name = t[i].text;  // ReturnType name(   (free functions, fixtures)
+        paren = i + 1;
+      } else {
+        continue;
+      }
+      std::size_t k = match_delim(t, paren) + 1;
+      while (t[k].is("const") || t[k].is("noexcept") || t[k].is("override") ||
+             t[k].is("final")) {
+        ++k;
+      }
+      if (!t[k].is("{")) continue;
+      const std::size_t end = match_delim(t, k);
+      if (funcs_.count(name) == 0) {
+        funcs_[name] = FuncInfo{k + 1, end, t[i].line, {}, {}, false};
+      }
+      i = end;  // methods never nest
+    }
+  }
+
+  // --- shared helpers -----------------------------------------------------
+
+  void diag(int line, const std::string& msg) {
+    if (!emit_ || diags_ == nullptr) return;
+    diags_->push_back(Diagnostic{kRule, file_.path, line, msg});
+  }
+
+  /// `State :: kX` at token i -> spec state name, advancing past it.
+  std::optional<std::string> parse_state_ref(std::size_t& i) {
+    const TokenVec& t = tokens_;
+    if (!(t[i].is("State") && t[i + 1].is("::") && t[i + 2].ident())) {
+      return std::nullopt;
+    }
+    std::string name = t[i + 2].text;
+    if (name.size() > 1 && name[0] == 'k') name = name.substr(1);
+    if (!spec_.has_state(name)) {
+      diag(t[i + 2].line, "unknown state State::" + t[i + 2].text +
+                              " (not declared in spec '" + spec_.name + "')");
+      i += 3;
+      return std::nullopt;
+    }
+    i += 3;
+    return name;
+  }
+
+  /// Classifies an `if`/`assert` condition token range [begin, end).
+  CondInfo parse_cond(std::size_t begin, std::size_t end) {
+    const TokenVec& t = tokens_;
+    CondInfo info;
+    std::vector<bool> consumed(end - begin, false);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (t[i].is("||")) info.has_or = true;
+      if (!t[i].is("state_")) continue;
+      if (i + 1 >= end || !(t[i + 1].is("==") || t[i + 1].is("!="))) continue;
+      std::size_t j = i + 2;
+      const std::optional<std::string> s = parse_state_ref(j);
+      if (!s || j > end) continue;
+      (t[i + 1].is("==") ? info.positives : info.negatives).insert(*s);
+      for (std::size_t k = i; k < j; ++k) consumed[k - begin] = true;
+    }
+    info.pure = info.any_atom();
+    for (std::size_t i = begin; i < end && info.pure; ++i) {
+      if (consumed[i - begin]) continue;
+      if (!(t[i].is("&&") || t[i].is("||") || t[i].is("(") || t[i].is(")"))) {
+        info.pure = false;
+      }
+    }
+    return info;
+  }
+
+  StateSet base_of(const Ctx& ctx) const {
+    return ctx.known ? ctx.states : universe_;
+  }
+
+  /// Context for a branch taken when `cond` is true.
+  Ctx refine_true(const Ctx& ctx, const CondInfo& cond) {
+    if (!cond.any_atom()) return ctx;
+    if (cond.has_or && !cond.pure) return ctx;  // can't constrain
+    StateSet s = base_of(ctx);
+    if (!cond.positives.empty()) {
+      StateSet inter;
+      for (const std::string& x : s) {
+        if (cond.positives.count(x)) inter.insert(x);
+      }
+      s = std::move(inter);
+    }
+    for (const std::string& x : cond.negatives) s.erase(x);
+    return Ctx::of(std::move(s));
+  }
+
+  /// Context for the else branch / for code after a returning then-branch
+  /// (only derivable from pure single-polarity conditions).
+  std::optional<Ctx> refine_false(const Ctx& ctx, const CondInfo& cond) {
+    if (!cond.pure) return std::nullopt;
+    StateSet s = base_of(ctx);
+    if (!cond.positives.empty() && cond.negatives.empty()) {
+      for (const std::string& x : cond.positives) s.erase(x);
+      return Ctx::of(std::move(s));
+    }
+    if (cond.positives.empty() && !cond.negatives.empty()) {
+      StateSet inter;
+      for (const std::string& x : s) {
+        if (cond.negatives.count(x)) inter.insert(x);
+      }
+      return Ctx::of(std::move(inter));
+    }
+    return std::nullopt;
+  }
+
+  // --- transition events --------------------------------------------------
+
+  /// Records a transition into state `to` observed at `line` under `ctx`.
+  /// Unknown contexts export the target to the enclosing function, whose
+  /// call sites attribute it (deferred when the site sits in a lambda).
+  void event(const Ctx& ctx, const std::string& to, int line, FuncInfo& self,
+             bool in_lambda) {
+    if (ctx.known) {
+      if (!emit_) return;
+      for (const std::string& from : ctx.states) {
+        if (from != to) out_.push_back(ExtractedTransition{from, to, line});
+      }
+      return;
+    }
+    StateSet& pending = in_lambda ? self.deferred : self.immediate;
+    changed_ |= pending.insert(to).second;
+  }
+
+  /// Call of helper `h` observed under `ctx`; returns the context after
+  /// the call (immediate targets redirect it, deferred ones don't).
+  Ctx helper_call(const Ctx& ctx, const FuncInfo& h, int line, FuncInfo& self,
+                  bool in_lambda) {
+    h_called_ = true;
+    for (const std::string& to : h.immediate) {
+      event(ctx, to, line, self, in_lambda);
+    }
+    for (const std::string& to : h.deferred) {
+      event(ctx, to, line, self, in_lambda);
+    }
+    if (!ctx.known) {
+      // Propagate flavor-preserving so grand-callers attribute correctly.
+      for (const std::string& to : h.immediate) {
+        changed_ |= (in_lambda ? self.deferred : self.immediate).insert(to).second;
+      }
+      for (const std::string& to : h.deferred) {
+        changed_ |= self.deferred.insert(to).second;
+      }
+    }
+    if (!h.immediate.empty()) return Ctx::of(h.immediate);
+    return ctx;
+  }
+
+  // --- statement walking --------------------------------------------------
+
+  /// Index just past the statement starting at `i` (block, control
+  /// statement with sub-statements, or `;`-terminated expression).
+  std::size_t stmt_end(std::size_t i) {
+    const TokenVec& t = tokens_;
+    if (t[i].is("{")) return match_delim(tokens_, i) + 1;
+    if (t[i].is("if") || t[i].is("for") || t[i].is("while") ||
+        t[i].is("switch")) {
+      std::size_t j = i + 1;
+      while (!t[j].is("(") && j + 1 < t.size()) ++j;
+      j = stmt_end(match_delim(tokens_, j) + 1);
+      if (t[i].is("if") && t[j].is("else")) j = stmt_end(j + 1);
+      return j;
+    }
+    if (t[i].is("do")) {
+      std::size_t j = stmt_end(i + 1);  // body
+      while (j + 1 < t.size() && !t[j].is(";")) ++j;
+      return j + 1;
+    }
+    // Expression / return / break / declaration: to `;` at nesting depth 0.
+    int depth = 0;
+    for (std::size_t j = i; j + 1 < t.size(); ++j) {
+      const std::string& x = t[j].text;
+      if (x == "(" || x == "[" || x == "{") ++depth;
+      if (x == ")" || x == "]" || x == "}") --depth;
+      if (depth == 0 && x == ";") return j + 1;
+    }
+    return t.size() - 1;
+  }
+
+  bool is_lambda_intro(std::size_t i) const {
+    const TokenVec& t = tokens_;
+    if (!t[i].is("[")) return false;
+    if (i == 0) return true;
+    const std::string& p = t[i - 1].text;
+    return p == "(" || p == "," || p == "=" || p == "return" || p == "{" ||
+           p == ";" || p == "&&" || p == "||";
+  }
+
+  /// Walks an expression statement [begin, end): transition primitives,
+  /// helper calls, asserts and nested lambdas.
+  void walk_expression(std::size_t begin, std::size_t end, Ctx& ctx,
+                       FuncInfo& self, bool in_lambda) {
+    const TokenVec& t = tokens_;
+    for (std::size_t i = begin; i < end; ++i) {
+      // assert(state_ == State::kX): establishes context for the scope.
+      if (t[i].is("assert") && t[i + 1].is("(")) {
+        const std::size_t close = match_delim(tokens_, i + 1);
+        const CondInfo cond = parse_cond(i + 2, close);
+        if (cond.any_atom()) ctx = refine_true(ctx, cond);
+        i = close;
+        continue;
+      }
+      // Lambda body: inherits the context at its definition site; its
+      // unknown-context transitions attribute as *deferred*.
+      if (is_lambda_intro(i)) {
+        std::size_t j = match_delim(tokens_, i) + 1;
+        if (t[j].is("(")) j = match_delim(tokens_, j) + 1;
+        while (t[j].ident() && !t[j].is("{") && j < end) ++j;  // mutable etc.
+        if (t[j].is("{")) {
+          const std::size_t body_end = match_delim(tokens_, j);
+          Ctx inner = ctx;
+          analyze_stmts(j + 1, body_end, inner, self, /*in_lambda=*/true);
+          i = body_end;
+        }
+        continue;
+      }
+      // change_state(State::kX)
+      if (t[i].is("change_state") && t[i + 1].is("(")) {
+        std::size_t j = i + 2;
+        const int line = t[i].line;
+        if (const auto s = parse_state_ref(j)) {
+          event(ctx, *s, line, self, in_lambda);
+          ctx = Ctx::of({*s});
+        }
+        i = match_delim(tokens_, i + 1);
+        continue;
+      }
+      // state_ = State::kX
+      if (t[i].is("state_") && t[i + 1].is("=")) {
+        std::size_t j = i + 2;
+        const int line = t[i].line;
+        if (const auto s = parse_state_ref(j)) {
+          event(ctx, *s, line, self, in_lambda);
+          ctx = Ctx::of({*s});
+          i = j - 1;
+        }
+        continue;
+      }
+      // Helper / transient-function calls (plain, unqualified).
+      if (t[i].ident() && t[i + 1].is("(") &&
+          (i == 0 || !(t[i - 1].is("::") || t[i - 1].is(".") ||
+                       t[i - 1].is("->")))) {
+        if (!spec_.transient_fn.empty() && t[i].text == spec_.transient_fn) {
+          event(ctx, spec_.transient_state, t[i].line, self, in_lambda);
+          ctx = Ctx::unknown();  // fail() lands wherever its body goes
+          continue;
+        }
+        const auto it = funcs_.find(t[i].text);
+        if (it != funcs_.end() &&
+            (!it->second.immediate.empty() || !it->second.deferred.empty())) {
+          ctx = helper_call(ctx, it->second, t[i].line, self, in_lambda);
+        }
+      }
+    }
+  }
+
+  /// Walks a statement sequence, tracking context. Returns true when the
+  /// last top-level statement is a `return`.
+  bool analyze_stmts(std::size_t begin, std::size_t end, Ctx& ctx,
+                     FuncInfo& self, bool in_lambda) {
+    const TokenVec& t = tokens_;
+    bool last_return = false;
+    std::size_t i = begin;
+    while (i < end) {
+      last_return = false;
+      if (t[i].is("if")) {
+        std::size_t paren = i + 1;
+        const std::size_t close = match_delim(tokens_, paren);
+        const CondInfo cond = parse_cond(paren + 1, close);
+        const std::size_t then_begin = close + 1;
+        const std::size_t then_past = stmt_end(then_begin);
+        Ctx then_ctx = refine_true(ctx, cond);
+        bool then_returns;
+        if (t[then_begin].is("{")) {
+          then_returns = analyze_stmts(then_begin + 1, then_past - 1, then_ctx,
+                                       self, in_lambda);
+        } else {
+          then_returns = analyze_stmts(then_begin, then_past, then_ctx, self,
+                                       in_lambda);
+        }
+        std::size_t next = then_past;
+        if (t[next].is("else")) {
+          const std::size_t else_begin = next + 1;
+          const std::size_t else_past = stmt_end(else_begin);
+          Ctx else_ctx = refine_false(ctx, cond).value_or(ctx);
+          if (t[else_begin].is("{")) {
+            analyze_stmts(else_begin + 1, else_past - 1, else_ctx, self,
+                          in_lambda);
+          } else {
+            analyze_stmts(else_begin, else_past, else_ctx, self, in_lambda);
+          }
+          next = else_past;
+        } else if (then_returns) {
+          // `if (state-pure) return;` — the code after runs elsewhere.
+          if (const auto after = refine_false(ctx, cond)) ctx = *after;
+        }
+        i = next;
+        continue;
+      }
+      if (t[i].is("switch")) {
+        std::size_t paren = i + 1;
+        const std::size_t close = match_delim(tokens_, paren);
+        bool on_state = false;
+        for (std::size_t j = paren + 1; j < close; ++j) {
+          if (t[j].is("state_")) on_state = true;
+        }
+        const std::size_t body_open = close + 1;
+        const std::size_t body_close = match_delim(tokens_, body_open);
+        if (on_state) {
+          analyze_state_switch(body_open + 1, body_close, ctx, self, in_lambda);
+        } else {
+          Ctx inner = ctx;
+          analyze_stmts(body_open + 1, body_close, inner, self, in_lambda);
+        }
+        i = body_close + 1;
+        continue;
+      }
+      if (t[i].is("for") || t[i].is("while")) {
+        std::size_t paren = i + 1;
+        const std::size_t close = match_delim(tokens_, paren);
+        const std::size_t body_begin = close + 1;
+        const std::size_t body_past = stmt_end(body_begin);
+        Ctx inner = ctx;  // loop bodies don't refine or leak context
+        if (t[body_begin].is("{")) {
+          analyze_stmts(body_begin + 1, body_past - 1, inner, self, in_lambda);
+        } else {
+          analyze_stmts(body_begin, body_past, inner, self, in_lambda);
+        }
+        i = body_past;
+        continue;
+      }
+      if (t[i].is("{")) {
+        const std::size_t past = stmt_end(i);
+        Ctx inner = ctx;
+        analyze_stmts(i + 1, past - 1, inner, self, in_lambda);
+        i = past;
+        continue;
+      }
+      const std::size_t past = stmt_end(i);
+      if (t[i].is("return")) last_return = true;
+      walk_expression(i, past, ctx, self, in_lambda);
+      i = past;
+    }
+    return last_return;
+  }
+
+  /// `switch (state_)` body: each case-label group is a known context.
+  void analyze_state_switch(std::size_t begin, std::size_t end, const Ctx& ctx,
+                            FuncInfo& self, bool in_lambda) {
+    const TokenVec& t = tokens_;
+    std::size_t i = begin;
+    StateSet labels;
+    bool is_default = false;
+    std::size_t seg_start = 0;
+    auto flush = [&](std::size_t seg_end) {
+      if (seg_start == 0 || seg_start >= seg_end) return false;
+      Ctx seg_ctx = ctx;
+      if (!is_default && !labels.empty()) {
+        seg_ctx = refine_true(ctx, CondInfo{labels, {}, true, false});
+      }
+      analyze_stmts(seg_start, seg_end, seg_ctx, self, in_lambda);
+      return true;
+    };
+    while (i < end) {
+      if (t[i].is("case") || t[i].is("default")) {
+        // Consecutive labels with no statements between them accumulate
+        // into one group (case kIdle: case kAdvertise: ...).
+        if (flush(i)) {
+          labels.clear();
+          is_default = false;
+        }
+        seg_start = 0;
+        if (t[i].is("default")) {
+          is_default = true;
+          i += 2;  // default :
+        } else {
+          std::size_t j = i + 1;
+          if (const auto s = parse_state_ref(j)) labels.insert(*s);
+          i = j + 1;  // skip the `:`
+        }
+        seg_start = i;
+        continue;
+      }
+      i = stmt_end(i);
+    }
+    flush(end);
+  }
+
+  // --- driver -------------------------------------------------------------
+
+  void analyze_all(bool emit) {
+    emit_ = emit;
+    if (emit_) out_.clear();
+    for (auto& [name, fn] : funcs_) {
+      Ctx ctx = Ctx::unknown();
+      if (!spec_.transient_fn.empty() && name == spec_.transient_fn) {
+        ctx = Ctx::of({spec_.transient_state});
+      }
+      h_called_ = false;
+      analyze_stmts(fn.body_begin, fn.body_end, ctx, fn, /*in_lambda=*/false);
+    }
+    if (emit_) {
+      // Record which helpers were called (for the unattributed check).
+      for (auto& [name, fn] : funcs_) {
+        (void)name;
+        fn.called = false;
+      }
+      for (auto& [name, fn] : funcs_) {
+        (void)fn;
+        mark_calls_of(name);
+      }
+    }
+  }
+
+  /// Marks `callee` as called if any other function's body invokes it.
+  void mark_calls_of(const std::string& callee) {
+    const TokenVec& t = tokens_;
+    for (const auto& [name, fn] : funcs_) {
+      if (name == callee) continue;
+      for (std::size_t i = fn.body_begin; i < fn.body_end; ++i) {
+        if (t[i].text == callee && t[i + 1].is("(") &&
+            !(t[i - 1].is("::") || t[i - 1].is(".") || t[i - 1].is("->"))) {
+          funcs_[callee].called = true;
+          return;
+        }
+      }
+    }
+  }
+
+  void report_unattributed() {
+    for (const auto& [name, fn] : funcs_) {
+      if (fn.immediate.empty() && fn.deferred.empty()) continue;
+      if (fn.called) continue;
+      StateSet all = fn.immediate;
+      all.insert(fn.deferred.begin(), fn.deferred.end());
+      std::string targets;
+      for (const std::string& s : all) {
+        if (!targets.empty()) targets += ", ";
+        targets += s;
+      }
+      diags_->push_back(Diagnostic{
+          kRule, file_.path, fn.line,
+          "function '" + name + "' changes state (to " + targets +
+              ") but its source state is unresolvable: add a state guard "
+              "or an assert(state_ == State::k...) at its entry"});
+    }
+  }
+
+  const SourceFile& file_;
+  const MachineSpec& spec_;
+  std::vector<Diagnostic>* diags_;
+  TokenVec tokens_;
+  StateSet universe_;
+  std::map<std::string, FuncInfo> funcs_;
+  std::vector<ExtractedTransition> out_;
+  bool emit_ = false;
+  bool changed_ = false;
+  bool h_called_ = false;
+};
+
+}  // namespace
+
+std::vector<ExtractedTransition> extract_transitions(
+    const SourceFile& file, const MachineSpec& spec,
+    std::vector<Diagnostic>* diags) {
+  return Extractor(file, spec, diags).run();
+}
+
+std::vector<Diagnostic> check_state_machine(const SourceFile& file,
+                                            const MachineSpec& spec) {
+  std::vector<Diagnostic> diags;
+  const std::vector<ExtractedTransition> raw =
+      extract_transitions(file, spec, &diags);
+
+  std::map<std::pair<std::string, std::string>, int> table;  // -> first line
+  for (const ExtractedTransition& tr : raw) {
+    table.emplace(std::make_pair(tr.from, tr.to), tr.line);
+  }
+  for (const auto& [edge, line] : table) {
+    if (spec.transitions.count(edge) == 0) {
+      diags.push_back(Diagnostic{
+          "state-machine", file.path, line,
+          "forbidden transition " + edge.first + " -> " + edge.second +
+              " (not in spec '" + spec.name + "')"});
+    }
+  }
+  for (const auto& edge : spec.transitions) {
+    if (table.count(edge) == 0) {
+      diags.push_back(Diagnostic{
+          "state-machine", file.path, 0,
+          "spec transition " + edge.first + " -> " + edge.second +
+              " has no implementing code in " + file.path});
+    }
+  }
+  return diags;
+}
+
+}  // namespace mnp::lint

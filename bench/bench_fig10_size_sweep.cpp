@@ -8,9 +8,11 @@
 #include <iostream>
 
 #include "harness/experiment.hpp"
+#include "harness/observe.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mnp;
+  const harness::ObsCli obs_cli = harness::parse_obs_args(argc, argv);
   std::cout << "=== Fig. 10: program size sweep, 20x20 grid ===\n\n";
   std::printf("%8s %8s %14s %12s %20s\n", "segments", "KB", "completion(s)",
               "ART(s)", "ART w/o init idle(s)");
@@ -21,7 +23,10 @@ int main() {
     cfg.cols = 20;
     cfg.set_program_segments(segments);
     cfg.seed = 10;
-    const auto r = harness::run_experiment(cfg);
+    harness::Observation observation;
+    const auto r = harness::run_experiment(
+        cfg, obs_cli.enabled() ? &observation : nullptr);
+    if (!harness::finish_observation(obs_cli, cfg, observation)) return 1;
     const double completion = sim::to_seconds(r.completion_time);
     if (segments == 1) t1 = completion;
     std::printf("%8u %8.1f %14.1f %12.1f %20.1f\n", segments,

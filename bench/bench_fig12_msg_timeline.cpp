@@ -7,18 +7,23 @@
 #include <iostream>
 
 #include "harness/experiment.hpp"
+#include "harness/observe.hpp"
 #include "harness/report.hpp"
 #include "util/histogram.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mnp;
+  const harness::ObsCli obs_cli = harness::parse_obs_args(argc, argv);
   std::cout << "=== Fig. 12: message-type timeline, 20x20 grid, 5 segments ===\n\n";
   harness::ExperimentConfig cfg;
   cfg.rows = 20;
   cfg.cols = 20;
   cfg.set_program_segments(5);
   cfg.seed = 8;
-  const auto r = harness::run_experiment(cfg);
+  harness::Observation observation;
+  const auto r = harness::run_experiment(
+      cfg, obs_cli.enabled() ? &observation : nullptr);
+  if (!harness::finish_observation(obs_cli, cfg, observation)) return 1;
 
   harness::print_timeline(std::cout, r);
 

@@ -8,10 +8,12 @@
 #include <iostream>
 
 #include "harness/experiment.hpp"
+#include "harness/observe.hpp"
 #include "harness/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mnp;
+  const harness::ObsCli obs_cli = harness::parse_obs_args(argc, argv);
   std::cout << "=== Fig. 13: propagation progress, 15x15 grid, 1 segment ===\n\n";
   harness::ExperimentConfig cfg;
   cfg.rows = 15;
@@ -19,7 +21,10 @@ int main() {
   cfg.set_program_segments(1);
   cfg.base = 0;
   cfg.seed = 13;
-  const auto r = harness::run_experiment(cfg);
+  harness::Observation observation;
+  const auto r = harness::run_experiment(
+      cfg, obs_cli.enabled() ? &observation : nullptr);
+  if (!harness::finish_observation(obs_cli, cfg, observation)) return 1;
 
   harness::print_summary(std::cout, "MNP 15x15 / 1 segment", r);
   std::cout << "\n";

@@ -9,10 +9,12 @@
 #include <iostream>
 
 #include "harness/experiment.hpp"
+#include "harness/observe.hpp"
 #include "harness/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mnp;
+  const harness::ObsCli obs_cli = harness::parse_obs_args(argc, argv);
   std::cout << "=== Fig. 5: indoor 5x4 grid, basic MNP (no pipelining) ===\n";
   std::cout << "(power level -> range mapping: level 4 ~ 9 ft, level 3 ~ 6 ft\n"
                " at 3 ft inter-node spacing)\n\n";
@@ -33,7 +35,10 @@ int main() {
     cfg.mnp.packets_per_segment = 200;  // one large EEPROM-tracked segment
     cfg.program_bytes = 200 * 22;  // 200 packets (~4.4 KB)
     cfg.seed = 11;
-    const auto r = harness::run_experiment(cfg);
+    harness::Observation observation;
+    const auto r = harness::run_experiment(
+        cfg, obs_cli.enabled() ? &observation : nullptr);
+    if (!harness::finish_observation(obs_cli, cfg, observation)) return 1;
 
     std::cout << "---- " << s.label << " (range " << s.range_ft << " ft) ----\n";
     harness::print_summary(std::cout, s.label, r);

@@ -6,10 +6,12 @@
 #include <iostream>
 
 #include "harness/experiment.hpp"
+#include "harness/observe.hpp"
 #include "harness/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mnp;
+  const harness::ObsCli obs_cli = harness::parse_obs_args(argc, argv);
   std::cout << "=== Fig. 6: outdoor 7x7 grid, basic MNP ===\n\n";
   struct Setting {
     const char* label;
@@ -27,7 +29,10 @@ int main() {
     cfg.mnp.packets_per_segment = 200;  // one large EEPROM-tracked segment
     cfg.program_bytes = 200 * 22;
     cfg.seed = 21;
-    const auto r = harness::run_experiment(cfg);
+    harness::Observation observation;
+    const auto r = harness::run_experiment(
+        cfg, obs_cli.enabled() ? &observation : nullptr);
+    if (!harness::finish_observation(obs_cli, cfg, observation)) return 1;
 
     std::cout << "---- " << s.label << " ----\n";
     harness::print_summary(std::cout, s.label, r);

@@ -6,10 +6,12 @@
 #include <iostream>
 
 #include "harness/experiment.hpp"
+#include "harness/observe.hpp"
 #include "harness/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mnp;
+  const harness::ObsCli obs_cli = harness::parse_obs_args(argc, argv);
   std::cout << "=== Fig. 8: active radio time, 20x20 grid, 5 segments (~14 KB) ===\n\n";
   harness::ExperimentConfig cfg;
   cfg.rows = 20;
@@ -17,7 +19,10 @@ int main() {
   cfg.set_program_segments(5);
   cfg.base = 0;  // corner base station, as in the simulation section
   cfg.seed = 8;
-  const auto r = harness::run_experiment(cfg);
+  harness::Observation observation;
+  const auto r = harness::run_experiment(
+      cfg, obs_cli.enabled() ? &observation : nullptr);
+  if (!harness::finish_observation(obs_cli, cfg, observation)) return 1;
 
   harness::print_summary(std::cout, "MNP 20x20 / 5 segments", r);
   std::cout << "\n";

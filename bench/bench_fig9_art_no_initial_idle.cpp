@@ -6,18 +6,23 @@
 #include <iostream>
 
 #include "harness/experiment.hpp"
+#include "harness/observe.hpp"
 #include "harness/report.hpp"
 #include "util/histogram.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mnp;
+  const harness::ObsCli obs_cli = harness::parse_obs_args(argc, argv);
   std::cout << "=== Fig. 9: ART without initial idle listening, 20x20, 5 segments ===\n\n";
   harness::ExperimentConfig cfg;
   cfg.rows = 20;
   cfg.cols = 20;
   cfg.set_program_segments(5);
   cfg.seed = 8;
-  const auto r = harness::run_experiment(cfg);
+  harness::Observation observation;
+  const auto r = harness::run_experiment(
+      cfg, obs_cli.enabled() ? &observation : nullptr);
+  if (!harness::finish_observation(obs_cli, cfg, observation)) return 1;
 
   util::RunningStats total, post_adv;
   std::cout << "ART after first advertisement, by node id (s):\n";

@@ -7,11 +7,13 @@
 //               [--no-query-update] [--battery-aware] [--duty-cycle F]
 //               [--disk-links] [--csv PREFIX] [--quiet]
 //               [--runs N] [--jobs N]
+//               [--trace-out PATH] [--metrics-out PATH]
 //
 // Examples:
 //   mnp_sim_cli --rows 20 --cols 20 --segments 5            # the Fig.-8 run
 //   mnp_sim_cli --protocol deluge --segments 2 --csv out/d  # CSVs for plots
 //   mnp_sim_cli --runs 10 --jobs 4    # 10-seed sweep on 4 worker threads
+//   mnp_sim_cli --trace-out run.json  # Perfetto trace (open in ui.perfetto.dev)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -19,6 +21,7 @@
 
 #include "harness/csv.hpp"
 #include "harness/experiment.hpp"
+#include "harness/observe.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
 
@@ -45,7 +48,11 @@ namespace {
       << "  --runs N                         sweep N seeds (starting at --seed)\n"
       << "  --jobs N                         sweep worker threads (default: \n"
       << "                                   MNP_SWEEP_JOBS, else 1; results\n"
-      << "                                   are identical for any N)\n";
+      << "                                   are identical for any N)\n"
+      << "  --trace-out PATH                 write a Perfetto/Chrome trace JSON\n"
+      << "                                   (sweeps trace the first seed)\n"
+      << "  --metrics-out PATH               write the run-manifest JSON\n"
+      << "                                   (config, seeds, metrics snapshot)\n";
   std::exit(2);
 }
 
@@ -54,6 +61,7 @@ namespace {
 int main(int argc, char** argv) {
   using namespace mnp;
   harness::ExperimentConfig cfg;
+  harness::ObsCli obs_cli;
   std::string csv_prefix;
   bool quiet = false;
   std::size_t runs = 1;
@@ -120,6 +128,8 @@ int main(int argc, char** argv) {
       runs = std::stoul(need_value(i));
     } else if (!std::strcmp(arg, "--jobs")) {
       jobs = std::stoul(need_value(i));
+    } else if (obs_cli.parse_arg(argc, argv, i)) {
+      // --trace-out / --metrics-out consumed.
     } else {
       usage(argv[0]);
     }
@@ -132,7 +142,13 @@ int main(int argc, char** argv) {
   if (runs > 1) {
     harness::SweepOptions options;
     options.jobs = jobs;
+    harness::Observation observation;
+    if (obs_cli.enabled()) options.observe = &observation;
     const auto sweep = harness::run_sweep(cfg, runs, cfg.seed, options);
+    if (obs_cli.enabled() &&
+        !obs_cli.write(cfg, cfg.seed, runs, observation)) {
+      return 1;
+    }
     std::cout << "=== " << title << " sweep: " << runs << " seeds (first "
               << cfg.seed << "), " << harness::resolve_sweep_jobs(jobs)
               << " job(s) ===\n\n";
@@ -151,7 +167,12 @@ int main(int argc, char** argv) {
     return sweep.fully_completed_runs == sweep.runs ? 0 : 1;
   }
 
-  const auto result = harness::run_experiment(cfg);
+  harness::Observation observation;
+  const auto result = harness::run_experiment(
+      cfg, obs_cli.enabled() ? &observation : nullptr);
+  if (obs_cli.enabled() && !obs_cli.write(cfg, cfg.seed, 1, observation)) {
+    return 1;
+  }
   harness::print_summary(std::cout, title.c_str(), result);
   if (!quiet) {
     std::cout << "\n";

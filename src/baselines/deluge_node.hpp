@@ -27,6 +27,7 @@
 #include "mnp/program_image.hpp"
 #include "node/application.hpp"
 #include "node/node.hpp"
+#include "obs/metrics.hpp"
 #include "util/bitmap.hpp"
 
 namespace mnp::baselines {
@@ -95,6 +96,13 @@ class DelugeNode final : public node::Application {
   std::shared_ptr<const core::ProgramImage> image_;
   node::Node* node_ = nullptr;
   State state_ = State::kMaintain;
+
+  // Telemetry handles (deluge.* of DESIGN.md section 9), registered at
+  // start() when the harness attached a registry.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::Counter m_rounds_;
+  obs::MetricsRegistry::Counter m_summaries_;
+  obs::MetricsRegistry::Counter m_requests_;
 
   std::uint16_t version_ = 0;
   std::uint32_t program_bytes_ = 0;

@@ -19,6 +19,7 @@
 #include "mnp/program_image.hpp"
 #include "node/application.hpp"
 #include "node/node.hpp"
+#include "obs/metrics.hpp"
 
 namespace mnp::baselines {
 
@@ -80,6 +81,12 @@ class MoapNode final : public node::Application {
   MoapConfig config_;
   std::shared_ptr<const core::ProgramImage> image_;
   node::Node* node_ = nullptr;
+
+  // Telemetry handles (moap.* of DESIGN.md section 9), registered at
+  // start() when the harness attached a registry.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::Counter m_publishes_;
+  obs::MetricsRegistry::Counter m_nacks_;
   State state_ = State::kIdle;
 
   std::uint16_t version_ = 0;

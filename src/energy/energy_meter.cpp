@@ -50,4 +50,31 @@ double EnergyMeter::total_nah(sim::Time now) const {
   return total;
 }
 
+void EnergyMeter::publish(obs::MetricsRegistry& registry, net::NodeId node,
+                          sim::Time now) const {
+  const auto g_nah = registry.register_gauge(
+      "energy.nah", obs::Unit::kNanoampHours, true);
+  const auto g_active = registry.register_gauge(
+      "energy.active_radio_us", obs::Unit::kMicroseconds, true);
+  const auto g_after_adv = registry.register_gauge(
+      "energy.active_radio_after_adv_us", obs::Unit::kMicroseconds, true);
+  const auto c_tx =
+      registry.register_counter("energy.tx_packets", obs::Unit::kCount, true);
+  const auto c_rx =
+      registry.register_counter("energy.rx_packets", obs::Unit::kCount, true);
+  const auto c_er = registry.register_counter("energy.eeprom_reads",
+                                              obs::Unit::kCount, true);
+  const auto c_ew = registry.register_counter("energy.eeprom_writes",
+                                              obs::Unit::kCount, true);
+  registry.set(g_nah, node, total_nah(now));
+  registry.set(g_active, node,
+               static_cast<double>(active_radio_time(now)));
+  registry.set(g_after_adv, node,
+               static_cast<double>(active_radio_time_after_first_adv(now)));
+  registry.add(c_tx, node, tx_packets_);
+  registry.add(c_rx, node, rx_packets_);
+  registry.add(c_er, node, eeprom_reads_);
+  registry.add(c_ew, node, eeprom_writes_);
+}
+
 }  // namespace mnp::energy

@@ -9,6 +9,8 @@
 #include <cstdint>
 
 #include "energy/energy_model.hpp"
+#include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 
 namespace mnp::energy {
@@ -57,6 +59,12 @@ class EnergyMeter {
 
   /// Total charge drawn, in nAh, evaluated at `now`.
   double total_nah(sim::Time now) const;
+
+  /// Writes this meter's end-of-run readings into `registry` as the
+  /// per-node energy.* gauges of DESIGN.md section 9. Registration is
+  /// idempotent, so every node's meter publishes into the same names.
+  void publish(obs::MetricsRegistry& registry, net::NodeId node,
+               sim::Time now) const;
 
   const EnergyModel& model() const { return model_; }
 

@@ -1,8 +1,11 @@
 #include "harness/experiment.hpp"
 
+#include <cstdio>
+#include <functional>
 #include <memory>
 #include <utility>
 
+#include "harness/observe.hpp"
 #include "mnp/mnp_node.hpp"
 #include "mnp/program_image.hpp"
 #include "net/tdma_mac.hpp"
@@ -81,6 +84,11 @@ void install_protocol(const ExperimentConfig& cfg, node::Network& network,
 }  // namespace
 
 RunResult run_experiment(const ExperimentConfig& cfg) {
+  return run_experiment(cfg, nullptr);
+}
+
+RunResult run_experiment(const ExperimentConfig& cfg,
+                         Observation* observation) {
   sim::Simulator sim(cfg.seed);
   net::Topology topo = net::Topology::grid(cfg.rows, cfg.cols, cfg.spacing_ft);
 
@@ -115,15 +123,99 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
   node::Network network(sim, std::move(topo), make_links, cfg.channel, {},
                         mac_factory);
 
+  // Telemetry wiring must precede boot: protocols register their metric
+  // handles in Application::start().
+  if (observation) {
+    observation->node_count = network.size();
+    network.attach_observability(
+        observation->with_trace ? &observation->log : nullptr,
+        &observation->metrics);
+  }
+
   auto image = std::make_shared<const core::ProgramImage>(
       cfg.program_id, cfg.program_bytes, image_packets_per_segment(cfg),
       image_payload_bytes(cfg));
   install_protocol(cfg, network, image);
   network.boot_all(cfg.boot_jitter);
 
+  // Pre-scheduled cumulative-energy samples for the trace's counter
+  // tracks. The sampler lambda reads state but never touches an RNG, so
+  // an observed run's protocol behaviour is identical to an unobserved
+  // one. Events past the completion time simply never fire.
+  const bool sample_energy = observation && observation->with_trace &&
+                             observation->energy_sample_interval > 0;
+  if (sample_energy) {
+    observation->counters.clear();
+    observation->counters.reserve(network.size());
+    for (net::NodeId id = 0; id < network.size(); ++id) {
+      obs::CounterSeries series;
+      series.name = "energy_nah";
+      series.pid = id;
+      observation->counters.push_back(std::move(series));
+    }
+    node::Network* net_ptr = &network;
+    sim::Simulator* sim_ptr = &sim;
+    const auto take_sample = [net_ptr, sim_ptr, observation] {
+      const sim::Time now = sim_ptr->now();
+      for (net::NodeId id = 0; id < net_ptr->size(); ++id) {
+        observation->counters[id].samples.emplace_back(
+            now, net_ptr->node(id).meter().total_nah(now));
+      }
+    };
+    // Bounded so a pathological interval cannot flood the event queue.
+    const sim::Time interval = observation->energy_sample_interval;
+    std::size_t scheduled = 0;
+    for (sim::Time t = 0; t <= cfg.max_sim_time && scheduled < 20000;
+         t += interval, ++scheduled) {
+      sim.scheduler().post_at(t, take_sample);
+    }
+  }
+
   node::StatsCollector& stats = network.stats();
   sim.run_until_condition(cfg.max_sim_time,
                           [&stats] { return stats.all_completed(); });
+
+  // ---- observation capture (before any verification EEPROM reads) -------
+  if (observation) {
+    network.publish_energy_metrics(sim.now());
+    obs::MetricsRegistry& m = observation->metrics;
+    m.set(m.register_gauge("run.completed_nodes", obs::Unit::kCount, false),
+          static_cast<double>(stats.completed_count()));
+    m.set(m.register_gauge("run.sim_time_us", obs::Unit::kMicroseconds, false),
+          static_cast<double>(sim.now()));
+    if (sample_energy) {
+      // Close each energy track at the instant the run ended.
+      const sim::Time now = sim.now();
+      for (net::NodeId id = 0; id < network.size(); ++id) {
+        auto& samples = observation->counters[id].samples;
+        if (samples.empty() || samples.back().first < now) {
+          samples.emplace_back(now, network.node(id).meter().total_nah(now));
+        }
+      }
+    }
+    if (observation->with_trace && !stats.timeline().empty()) {
+      // Per-minute message-class rates as counter tracks under a virtual
+      // "network" process (pid = node count; real pids are node ids).
+      static const char* kClassSeries[4] = {
+          "msgs_per_min_adv", "msgs_per_min_req", "msgs_per_min_data",
+          "msgs_per_min_other"};
+      const auto& tl = stats.timeline();
+      const std::int64_t last_minute = tl.rbegin()->first;
+      for (std::size_t c = 0; c < 4; ++c) {
+        obs::CounterSeries series;
+        series.name = kClassSeries[c];
+        series.pid = static_cast<std::uint32_t>(network.size());
+        series.process = "network";
+        for (std::int64_t minute = 0; minute <= last_minute; ++minute) {
+          const auto it = tl.find(minute);
+          series.samples.emplace_back(
+              minute * sim::minutes(1),
+              it == tl.end() ? 0.0 : static_cast<double>(it->second[c]));
+        }
+        observation->counters.push_back(std::move(series));
+      }
+    }
+  }
 
   // ---- capture metrics (before any verification EEPROM reads) -----------
   RunResult result;

@@ -77,4 +77,12 @@ struct ExperimentConfig {
 /// config.max_sim_time / event exhaustion, whichever comes first.
 RunResult run_experiment(const ExperimentConfig& config);
 
+struct Observation;  // harness/observe.hpp
+
+/// Observed variant: wires `observation` (metrics registry + event log)
+/// into the network before boot and captures end-of-run energy gauges and
+/// the trace counter tracks. A null observation is the plain run above.
+RunResult run_experiment(const ExperimentConfig& config,
+                         Observation* observation);
+
 }  // namespace mnp::harness

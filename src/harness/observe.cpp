@@ -1,0 +1,162 @@
+#include "harness/observe.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+
+#include "obs/json_writer.hpp"
+
+// Stamped by CMake from `git describe`; manifest-only (never in the trace
+// JSON, so the golden trace file does not churn with every commit).
+#ifndef MNP_GIT_DESCRIBE
+#define MNP_GIT_DESCRIBE "unknown"
+#endif
+
+namespace mnp::harness {
+
+void write_trace_json(std::ostream& os, const Observation& observation) {
+  obs::write_chrome_trace(os, observation.log, observation.node_count,
+                          observation.counters);
+}
+
+namespace {
+
+const char* mac_name(MacType m) {
+  switch (m) {
+    case MacType::kCsma: return "csma";
+    case MacType::kTdma: return "tdma";
+  }
+  return "?";
+}
+
+void write_config(obs::JsonWriter& w, const ExperimentConfig& cfg) {
+  w.begin_object();
+  w.key("protocol");
+  w.value(protocol_name(cfg.protocol));
+  w.key("mac");
+  w.value(mac_name(cfg.mac));
+  w.key("rows");
+  w.value(static_cast<std::uint64_t>(cfg.rows));
+  w.key("cols");
+  w.value(static_cast<std::uint64_t>(cfg.cols));
+  w.key("spacing_ft");
+  w.value(cfg.spacing_ft);
+  w.key("base");
+  w.value(static_cast<std::uint64_t>(cfg.base));
+  w.key("range_ft");
+  w.value(cfg.range_ft);
+  w.key("interference_factor");
+  w.value(cfg.interference_factor);
+  w.key("empirical_links");
+  w.value(cfg.empirical_links);
+  w.key("link_noise_stddev");
+  w.value(cfg.link_noise_stddev);
+  w.key("program_id");
+  w.value(static_cast<std::uint64_t>(cfg.program_id));
+  w.key("program_bytes");
+  w.value(static_cast<std::uint64_t>(cfg.program_bytes));
+  w.key("packets_per_segment");
+  w.value(static_cast<std::uint64_t>(cfg.mnp.packets_per_segment));
+  w.key("payload_bytes");
+  w.value(static_cast<std::uint64_t>(cfg.mnp.payload_bytes));
+  w.key("pipelining");
+  w.value(cfg.mnp.pipelining);
+  w.key("max_sim_time_us");
+  w.value(static_cast<std::int64_t>(cfg.max_sim_time));
+  w.key("boot_jitter_us");
+  w.value(static_cast<std::int64_t>(cfg.boot_jitter));
+  w.end_object();
+}
+
+}  // namespace
+
+void write_run_manifest(std::ostream& os, const ExperimentConfig& cfg,
+                        std::uint64_t first_seed, std::size_t runs,
+                        const Observation& observation) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version");
+  w.value(obs::kTelemetrySchemaVersion);
+  w.key("tool");
+  w.value("mnp_sim");
+  w.key("git_describe");
+  w.value(MNP_GIT_DESCRIBE);
+  w.key("config");
+  write_config(w, cfg);
+  w.key("seeds");
+  w.begin_object();
+  w.key("first");
+  w.value(first_seed);
+  w.key("runs");
+  w.value(static_cast<std::uint64_t>(runs));
+  w.end_object();
+  w.key("node_count");
+  w.value(static_cast<std::uint64_t>(observation.node_count));
+  w.key("dropped_events");
+  w.value(observation.log.dropped());
+  w.key("metrics");
+  observation.metrics.write_json(w);
+  w.end_object();
+  os << w.str() << '\n';
+}
+
+bool ObsCli::parse_arg(int argc, char** argv, int& i) {
+  const auto take_value = [&](std::string& into) {
+    if (i + 1 >= argc) {
+      std::cerr << argv[i] << " requires a path argument\n";
+      std::exit(2);
+    }
+    into = argv[++i];
+    return true;
+  };
+  if (!std::strcmp(argv[i], "--trace-out")) return take_value(trace_path);
+  if (!std::strcmp(argv[i], "--metrics-out")) return take_value(metrics_path);
+  return false;
+}
+
+ObsCli parse_obs_args(int argc, char** argv) {
+  ObsCli cli;
+  for (int i = 1; i < argc; ++i) {
+    if (!cli.parse_arg(argc, argv, i)) {
+      std::cerr << "usage: " << argv[0]
+                << " [--trace-out PATH] [--metrics-out PATH]\n";
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+bool finish_observation(const ObsCli& cli, const ExperimentConfig& cfg,
+                        const Observation& observation) {
+  if (!cli.enabled()) return true;
+  if (observation.log.dropped() != 0) {
+    std::cerr << "event ring overflowed: " << observation.log.dropped()
+              << " dropped event(s); raise the Observation trace capacity\n";
+    return false;
+  }
+  return cli.write(cfg, cfg.seed, 1, observation);
+}
+
+bool ObsCli::write(const ExperimentConfig& cfg, std::uint64_t first_seed,
+                   std::size_t runs, const Observation& observation) const {
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "cannot open " << trace_path << " for writing\n";
+      return false;
+    }
+    write_trace_json(out, observation);
+  }
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "cannot open " << metrics_path << " for writing\n";
+      return false;
+    }
+    write_run_manifest(out, cfg, first_seed, runs, observation);
+  }
+  return true;
+}
+
+}  // namespace mnp::harness

@@ -1,0 +1,89 @@
+// Observation plumbing for the experiment harness (DESIGN.md section 9):
+// the telemetry bundle a run publishes into, the run-manifest JSON behind
+// --metrics-out, and the Perfetto trace behind --trace-out.
+//
+// One Observation serves both a single run and a whole sweep: run_sweep
+// merges each seed's metrics into it in seed order (so a --jobs 4 sweep
+// writes the byte-identical manifest a --jobs 1 sweep does) and keeps the
+// first seed's event log as the representative trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_export.hpp"
+#include "trace/event_log.hpp"
+
+namespace mnp::harness {
+
+/// Telemetry captured for one observed run (or merged over a sweep).
+struct Observation {
+  /// `trace_capacity` bounds the event ring; events beyond it are evicted
+  /// FIFO and surface as "dropped_events" in both JSON outputs (never
+  /// silently — see EventLog::dropped). The ring only allocates as events
+  /// arrive, so the default is sized for the repo's largest figure run
+  /// (20x20 grid, 5 segments: ~1.75M events) with ample headroom.
+  explicit Observation(std::size_t trace_capacity = std::size_t{1} << 22)
+      : log(trace_capacity) {}
+
+  obs::MetricsRegistry metrics;
+  trace::EventLog log;
+  /// Capture the trace side (event log + counter samples); metrics are
+  /// always collected. Sweeps trace only their first seed.
+  bool with_trace = true;
+  /// Cadence of the per-node cumulative-energy counter samples fed into
+  /// the trace (0 disables sampling).
+  sim::Time energy_sample_interval = sim::sec(10);
+  /// Counter tracks assembled by run_experiment: per-node energy plus the
+  /// per-minute message-class rates under a virtual "network" process.
+  std::vector<obs::CounterSeries> counters;
+  /// Node count of the observed network (run_experiment fills it in; the
+  /// trace track layout needs it).
+  std::size_t node_count = 0;
+};
+
+/// Writes the Perfetto/Chrome trace-event JSON for an observed run.
+void write_trace_json(std::ostream& os, const Observation& observation);
+
+/// Writes the run-manifest JSON: schema_version, git describe, the
+/// experiment configuration, the seed range, dropped_events and the full
+/// metrics snapshot. Deterministic: fixed key order, fixed number
+/// formats, metrics sorted by name.
+void write_run_manifest(std::ostream& os, const ExperimentConfig& cfg,
+                        std::uint64_t first_seed, std::size_t runs,
+                        const Observation& observation);
+
+/// Shared --trace-out/--metrics-out handling for the CLI and fig benches.
+struct ObsCli {
+  std::string trace_path;
+  std::string metrics_path;
+
+  /// Consumes "--trace-out PATH" or "--metrics-out PATH" at argv[i];
+  /// returns true (with `i` advanced past the value) when matched.
+  bool parse_arg(int argc, char** argv, int& i);
+  bool enabled() const { return !trace_path.empty() || !metrics_path.empty(); }
+
+  /// Writes whichever files were requested. Returns false (after a
+  /// message on stderr) when a file cannot be opened.
+  bool write(const ExperimentConfig& cfg, std::uint64_t first_seed,
+             std::size_t runs, const Observation& observation) const;
+};
+
+/// Argv handling for fig benches, which accept only the observability
+/// flags: exits 2 with a usage line on anything unrecognised.
+ObsCli parse_obs_args(int argc, char** argv);
+
+/// Bench epilogue for one observed configuration: fails (message on
+/// stderr) if the run overflowed the event ring — figure configurations
+/// must never drop telemetry silently — then writes any requested
+/// outputs. Benches with several configurations call this once per run,
+/// so every configuration gets the overflow check and the files end up
+/// describing the figure's last run. No-op when no flags were given.
+bool finish_observation(const ObsCli& cli, const ExperimentConfig& cfg,
+                        const Observation& observation);
+
+}  // namespace mnp::harness

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
@@ -9,6 +10,8 @@
 #include <set>
 #include <thread>
 #include <utility>
+
+#include "harness/observe.hpp"
 
 namespace mnp::harness {
 
@@ -36,6 +39,30 @@ void accumulate(SweepResult& sweep, RunResult r, bool keep_raw) {
                                 static_cast<double>(r.nodes.size()));
   sweep.effective_senders.add(static_cast<double>(count_effective_senders(r)));
   if (keep_raw) sweep.raw.push_back(std::move(r));
+}
+
+/// Seeds an empty per-run Observation mirroring the sweep-level one; only
+/// the first seed records a trace, so the merged dropped_events count is
+/// that representative trace's and the metrics stay trace-independent.
+Observation seed_observation(const Observation& target, bool first) {
+  Observation per_run(target.log.capacity());
+  per_run.with_trace = target.with_trace && first;
+  per_run.energy_sample_interval = target.energy_sample_interval;
+  return per_run;
+}
+
+void merge_observation(Observation& into, Observation&& from, bool first) {
+  if (first) {
+    into.metrics = std::move(from.metrics);
+    into.log = std::move(from.log);
+    into.counters = std::move(from.counters);
+    into.node_count = from.node_count;
+    return;
+  }
+  // All seeds run the same config, so the registries share one schema.
+  const bool merged = into.metrics.merge_from(from.metrics);
+  assert(merged && "sweep seeds produced differing metric schemas");
+  (void)merged;
 }
 
 }  // namespace
@@ -83,7 +110,14 @@ SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
   if (jobs <= 1) {
     for (std::size_t i = 0; i < runs; ++i) {
       cfg.seed = first_seed + i;
-      accumulate(sweep, run_experiment(cfg), options.keep_raw);
+      if (options.observe) {
+        Observation per_run = seed_observation(*options.observe, i == 0);
+        RunResult r = run_experiment(cfg, &per_run);
+        merge_observation(*options.observe, std::move(per_run), i == 0);
+        accumulate(sweep, std::move(r), options.keep_raw);
+      } else {
+        accumulate(sweep, run_experiment(cfg), options.keep_raw);
+      }
     }
     return sweep;
   }
@@ -94,6 +128,13 @@ SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
   // slot. Aggregation below walks the slots in seed order, so the merged
   // statistics are bit-identical to the jobs=1 path.
   std::vector<RunResult> results(runs);
+  std::vector<Observation> observations;
+  if (options.observe) {
+    observations.reserve(runs);
+    for (std::size_t i = 0; i < runs; ++i) {
+      observations.push_back(seed_observation(*options.observe, i == 0));
+    }
+  }
   std::atomic<std::size_t> next{0};
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
@@ -105,7 +146,8 @@ SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
       ExperimentConfig run_cfg = cfg;
       run_cfg.seed = first_seed + i;
       try {
-        results[i] = run_experiment(run_cfg);
+        results[i] = run_experiment(
+            run_cfg, options.observe ? &observations[i] : nullptr);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -120,7 +162,12 @@ SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
 
+  // Seed-order merge on the calling thread: the same accumulation
+  // sequence as jobs=1, hence byte-identical exports.
   for (std::size_t i = 0; i < runs; ++i) {
+    if (options.observe) {
+      merge_observation(*options.observe, std::move(observations[i]), i == 0);
+    }
     accumulate(sweep, std::move(results[i]), options.keep_raw);
   }
   return sweep;

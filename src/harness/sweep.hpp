@@ -48,6 +48,11 @@ struct SweepOptions {
   /// switches (measured *slower* than sequential on a 1-core host). Tests
   /// that need to exercise the thread pool regardless set this.
   bool allow_oversubscribe = false;
+  /// When set, every run is observed: per-run metrics merge into
+  /// observe->metrics on the calling thread in seed order (bit-identical
+  /// output for any `jobs` value) and the first seed keeps its event log
+  /// and counter tracks as the sweep's representative trace.
+  Observation* observe = nullptr;
 };
 
 /// Runs `cfg` once per seed in [first_seed, first_seed + runs) and

@@ -33,6 +33,7 @@
 #include "mnp/program_image.hpp"
 #include "node/application.hpp"
 #include "node/node.hpp"
+#include "obs/metrics.hpp"
 #include "util/bitmap.hpp"
 
 namespace mnp::core {
@@ -151,6 +152,14 @@ class MnpNode final : public node::Application {
   MnpConfig config_;
   std::shared_ptr<const ProgramImage> image_;  // base station only
   node::Node* node_ = nullptr;
+
+  // Telemetry (DESIGN.md section 9): handles registered once at start()
+  // when the harness attached a registry; change_state() then increments
+  // through plain array indexing. Index = static_cast<size_t>(State).
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::Counter m_state_entries_[7];
+  obs::MetricsRegistry::Counter m_requests_sent_;
+  obs::MetricsRegistry::Counter m_data_sent_;
 
   State state_ = State::kIdle;
 

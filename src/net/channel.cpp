@@ -28,6 +28,17 @@ void Channel::register_radio(Radio& radio) {
   radios_[radio.id()] = &radio;
 }
 
+void Channel::attach_metrics(obs::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  m_tx_ = registry.register_counter("chan.tx", obs::Unit::kCount, true);
+  m_delivered_ =
+      registry.register_counter("chan.delivered", obs::Unit::kCount, true);
+  m_collisions_ =
+      registry.register_counter("chan.collisions", obs::Unit::kCount, true);
+  m_bulk_overlaps_ = registry.register_counter("chan.bulk_overlaps",
+                                               obs::Unit::kCount, false);
+}
+
 sim::Time Channel::airtime(const Packet& pkt) const {
   const double bits = static_cast<double>(pkt.wire_bytes()) * 8.0;
   return static_cast<sim::Time>(bits / params_.bitrate_bps * 1e6);
@@ -123,6 +134,7 @@ void Channel::begin_transmission(NodeId src, FramePtr frame) {
   tx->bulk = is_bulk_data(frame->type());
   tx->frame = std::move(frame);
   ++transmissions_;
+  if (metrics_) metrics_->add(m_tx_, src);
   if (observer_) observer_->on_transmit(src, tx->pkt(), sim_.now());
 
   // Candidate receivers: every node currently listening whose radio hears
@@ -177,6 +189,7 @@ void Channel::begin_transmission(NodeId src, FramePtr frame) {
       if (!tx->corrupted[i] && other_reaches(r)) {
         corrupt_candidate(*tx, i);
         ++collisions_;
+        if (metrics_) metrics_->add(m_collisions_, r);
         if (observer_) observer_->on_collision(r, sim_.now());
       }
     }
@@ -185,6 +198,7 @@ void Channel::begin_transmission(NodeId src, FramePtr frame) {
       if (!other->corrupted[i] && tx_reaches(r)) {
         corrupt_candidate(*other, i);
         ++collisions_;
+        if (metrics_) metrics_->add(m_collisions_, r);
         if (observer_) observer_->on_collision(r, sim_.now());
       }
     }
@@ -202,7 +216,10 @@ void Channel::begin_transmission(NodeId src, FramePtr frame) {
           }
         }
       }
-      if (mutual || shared_victim) ++bulk_overlaps_;
+      if (mutual || shared_victim) {
+        ++bulk_overlaps_;
+        if (metrics_) metrics_->add(m_bulk_overlaps_);
+      }
     }
   }
 
@@ -237,6 +254,7 @@ void Channel::end_transmission(const std::shared_ptr<Active>& tx) {
     if (!radio || !radio->is_listening()) continue;
     if (!rng_.bernoulli(tx->success[i])) continue;
     ++deliveries_;
+    if (metrics_) metrics_->add(m_delivered_, r);
     if (observer_) observer_->on_deliver(tx->src, r, tx->pkt(), sim_.now());
     if (params_.zero_copy) {
       // Every receiver reads the one shared immutable frame.

@@ -37,6 +37,7 @@
 #include "net/link_model.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 
 namespace mnp::net {
@@ -77,6 +78,12 @@ class Channel {
   void register_radio(Radio& radio);
 
   void set_observer(ChannelObserver* observer) { observer_ = observer; }
+
+  /// Registers the channel's telemetry (the chan.* names of DESIGN.md
+  /// section 9) in `registry` and mirrors every statistic increment into
+  /// it from now on. Handles are pre-registered here, so the per-packet
+  /// cost is one branch plus array adds.
+  void attach_metrics(obs::MetricsRegistry& registry);
 
   /// Time on air for `pkt` at the configured bitrate.
   sim::Time airtime(const Packet& pkt) const;
@@ -163,6 +170,12 @@ class Channel {
   // so the const query paths can materialize a scale on first use.
   mutable std::vector<std::unique_ptr<ScaleCache>> scales_;
   ChannelObserver* observer_ = nullptr;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::Counter m_tx_;
+  obs::MetricsRegistry::Counter m_delivered_;
+  obs::MetricsRegistry::Counter m_collisions_;
+  obs::MetricsRegistry::Counter m_bulk_overlaps_;
 
   std::uint64_t transmissions_ = 0;
   std::uint64_t deliveries_ = 0;

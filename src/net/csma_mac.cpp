@@ -15,13 +15,24 @@ CsmaMac::CsmaMac(Radio& radio, sim::Scheduler& scheduler, sim::Rng rng,
 CsmaMac::CsmaMac(Radio& radio, sim::Scheduler& scheduler, sim::Rng rng)
     : CsmaMac(radio, scheduler, std::move(rng), Params{}) {}
 
+void CsmaMac::attach_metrics(obs::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  m_sent_ = registry.register_counter("mac.tx", obs::Unit::kCount, true);
+  m_dropped_ =
+      registry.register_counter("mac.dropped", obs::Unit::kCount, true);
+  m_backoffs_ = registry.register_counter("mac.congestion_backoffs",
+                                          obs::Unit::kCount, true);
+}
+
 bool CsmaMac::send(FramePtr frame) {
   if (!radio_.is_on()) {
     ++packets_dropped_;
+    if (metrics_) metrics_->add(m_dropped_, radio_.id());
     return false;
   }
   if (queue_.size() >= params_.queue_capacity) {
     ++packets_dropped_;
+    if (metrics_) metrics_->add(m_dropped_, radio_.id());
     return false;
   }
   queue_.push_back(std::move(frame));
@@ -67,15 +78,18 @@ void CsmaMac::backoff_expired() {
     if (!radio_.start_transmission(std::move(frame))) {
       in_flight_ = false;
       ++packets_dropped_;
+      if (metrics_) metrics_->add(m_dropped_, radio_.id());
       if (!queue_.empty()) arm_backoff(false);
     }
     return;
   }
   ++congestion_backoffs_;
+  if (metrics_) metrics_->add(m_backoffs_, radio_.id());
   ++retries_;
   if (params_.max_congestion_retries != 0 &&
       retries_ > params_.max_congestion_retries) {
     ++packets_dropped_;
+    if (metrics_) metrics_->add(m_dropped_, radio_.id());
     queue_.pop_front();
     retries_ = 0;
     if (queue_.empty()) return;
@@ -89,6 +103,7 @@ void CsmaMac::transmission_finished() {
   if (!in_flight_) return;  // send-done for a transmission we didn't start
   in_flight_ = false;
   ++packets_sent_;
+  if (metrics_) metrics_->add(m_sent_, radio_.id());
   if (send_done_) send_done_(*last_sent_);
   last_sent_.reset();
   if (!queue_.empty()) {

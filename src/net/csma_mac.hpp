@@ -50,6 +50,10 @@ class CsmaMac final : public Mac {
   /// (e.g. MNP going to sleep).
   void flush() override;
 
+  /// Registers mac.* counters (per-node, keyed by this MAC's radio id) and
+  /// mirrors the statistics below into `registry` from now on.
+  void attach_metrics(obs::MetricsRegistry& registry) override;
+
   std::size_t queue_depth() const override { return queue_.size(); }
   bool idle() const override { return queue_.empty() && !in_flight_; }
   std::uint64_t packets_sent() const override { return packets_sent_; }
@@ -79,6 +83,10 @@ class CsmaMac final : public Mac {
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
   std::uint64_t congestion_backoffs_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::Counter m_sent_;
+  obs::MetricsRegistry::Counter m_dropped_;
+  obs::MetricsRegistry::Counter m_backoffs_;
   std::function<void(const Packet&)> send_done_;
 };
 

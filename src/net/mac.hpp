@@ -11,12 +11,19 @@
 
 #include "net/frame.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 
 namespace mnp::net {
 
 class Mac {
  public:
   virtual ~Mac() = default;
+
+  /// Registers this MAC's telemetry (mac.* counters, DESIGN.md section 9)
+  /// and publishes into `registry` from now on. Default: unobserved.
+  virtual void attach_metrics(obs::MetricsRegistry& registry) {
+    (void)registry;
+  }
 
   /// Enqueues the shared frame — the zero-copy hot path. The MAC holds a
   /// reference in its queue; the Packet inside is never copied again.

@@ -17,6 +17,7 @@ void Radio::turn_on() {
   }
   state_ = State::kListening;
   meter_.radio_became_active(scheduler_.now());
+  if (on_state_) on_state_(true, scheduler_.now());
 }
 
 void Radio::turn_off() {
@@ -30,6 +31,7 @@ void Radio::turn_off() {
       channel_.radio_stopped_listening(id_);
       state_ = State::kOff;
       meter_.radio_became_inactive(scheduler_.now());
+      if (on_state_) on_state_(false, scheduler_.now());
       return;
   }
 }

@@ -24,6 +24,10 @@ class Radio {
 
   using ReceiveHandler = std::function<void(const Packet&)>;
   using SendDoneHandler = std::function<void()>;
+  /// Observability hook: fired on every real off<->on transition (the
+  /// exact moments the EnergyMeter integrates), so the trace exporter's
+  /// radio track and energy counter samples line up with Fig. 8's metric.
+  using StateListener = std::function<void(bool on, sim::Time now)>;
 
   Radio(NodeId id, sim::Scheduler& scheduler, Channel& channel,
         energy::EnergyMeter& meter);
@@ -37,6 +41,8 @@ class Radio {
   void set_receive_handler(ReceiveHandler handler) { on_receive_ = std::move(handler); }
   /// Invoked when a transmission completes (the radio is Listening again).
   void set_send_done_handler(SendDoneHandler handler) { on_send_done_ = std::move(handler); }
+  /// Null disables (the default) — the hot path pays one branch.
+  void set_state_listener(StateListener listener) { on_state_ = std::move(listener); }
 
   void turn_on();
   /// Turns the radio off. If a transmission is in flight the shutdown is
@@ -70,6 +76,7 @@ class Radio {
   bool off_pending_ = false;
   ReceiveHandler on_receive_;
   SendDoneHandler on_send_done_;
+  StateListener on_state_;
 };
 
 }  // namespace mnp::net

@@ -30,13 +30,22 @@ TdmaMac::TdmaMac(Radio& radio, sim::Scheduler& scheduler, Params params)
   radio_.set_send_done_handler([this] { transmission_finished(); });
 }
 
+void TdmaMac::attach_metrics(obs::MetricsRegistry& registry) {
+  metrics_ = &registry;
+  m_sent_ = registry.register_counter("mac.tx", obs::Unit::kCount, true);
+  m_dropped_ =
+      registry.register_counter("mac.dropped", obs::Unit::kCount, true);
+}
+
 bool TdmaMac::send(FramePtr frame) {
   if (!radio_.is_on()) {
     ++packets_dropped_;
+    if (metrics_) metrics_->add(m_dropped_, radio_.id());
     return false;
   }
   if (queue_.size() >= params_.queue_capacity) {
     ++packets_dropped_;
+    if (metrics_) metrics_->add(m_dropped_, radio_.id());
     return false;
   }
   queue_.push_back(std::move(frame));
@@ -82,6 +91,7 @@ void TdmaMac::slot_fired() {
   if (!radio_.start_transmission(std::move(frame))) {
     in_flight_ = false;
     ++packets_dropped_;
+    if (metrics_) metrics_->add(m_dropped_, radio_.id());
   }
   if (!queue_.empty()) arm_next_slot();
 }
@@ -90,6 +100,7 @@ void TdmaMac::transmission_finished() {
   if (!in_flight_) return;
   in_flight_ = false;
   ++packets_sent_;
+  if (metrics_) metrics_->add(m_sent_, radio_.id());
   if (send_done_) send_done_(*last_sent_);
   last_sent_.reset();
   if (!queue_.empty() && !slot_timer_.pending()) arm_next_slot();

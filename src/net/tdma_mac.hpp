@@ -51,6 +51,9 @@ class TdmaMac final : public Mac {
   bool send(FramePtr frame) override;
   bool send(Packet pkt) override;
   void flush() override;
+  /// Registers mac.* counters (per-node, keyed by this MAC's radio id) and
+  /// mirrors the statistics below into `registry` from now on.
+  void attach_metrics(obs::MetricsRegistry& registry) override;
   std::size_t queue_depth() const override { return queue_.size(); }
   bool idle() const override { return queue_.empty() && !in_flight_; }
   std::uint64_t packets_sent() const override { return packets_sent_; }
@@ -78,6 +81,9 @@ class TdmaMac final : public Mac {
   bool in_flight_ = false;
   std::uint64_t packets_sent_ = 0;
   std::uint64_t packets_dropped_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::Counter m_sent_;
+  obs::MetricsRegistry::Counter m_dropped_;
   std::function<void(const Packet&)> send_done_;
 };
 

@@ -32,6 +32,35 @@ void Network::boot_all(sim::Time max_jitter) {
   }
 }
 
+void Network::attach_observability(trace::EventLog* log,
+                                   obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  stats_.set_event_log(log);
+  stats_.set_metrics(metrics);
+  if (metrics) {
+    metrics->set_node_count(size());
+    channel_.attach_metrics(*metrics);
+  }
+  for (auto& n : nodes_) {
+    if (metrics) n->mac().attach_metrics(*metrics);
+    if (log) {
+      const net::NodeId id = n->id();
+      n->radio().set_state_listener([log, id](bool on, sim::Time now) {
+        log->record(now, id,
+                    on ? trace::EventKind::kRadioOn
+                       : trace::EventKind::kRadioOff);
+      });
+    }
+  }
+}
+
+void Network::publish_energy_metrics(sim::Time now) {
+  if (!metrics_) return;
+  for (auto& n : nodes_) {
+    n->meter().publish(*metrics_, n->id(), now);
+  }
+}
+
 std::size_t Network::complete_image_count() const {
   std::size_t count = 0;
   for (const auto& n : nodes_) {

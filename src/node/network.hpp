@@ -42,6 +42,20 @@ class Network {
   /// [0, max_jitter] — motes in the field never power up simultaneously.
   void boot_all(sim::Time max_jitter = sim::msec(500));
 
+  /// Wires the whole assembly for telemetry in one call (DESIGN.md
+  /// section 9): the stats collector records into `log` (nullable), the
+  /// channel, every MAC and the completion milestones publish into
+  /// `metrics` (nullable, node count set here), and every radio logs its
+  /// on/off flips so the trace exporter can draw radio-duty slices.
+  /// Call before boot_all(); attaching mid-run loses prior history.
+  void attach_observability(trace::EventLog* log,
+                            obs::MetricsRegistry* metrics);
+
+  /// End-of-run capture: every node's energy meter publishes its gauges
+  /// into the attached registry at time `now`. No-op when metrics were
+  /// never attached.
+  void publish_energy_metrics(sim::Time now);
+
   /// Number of nodes whose application reports a complete image.
   std::size_t complete_image_count() const;
 
@@ -52,6 +66,7 @@ class Network {
   StatsCollector stats_;
   net::Channel channel_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  obs::MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace mnp::node

@@ -1,6 +1,7 @@
 #include "node/stats.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace mnp::node {
 
@@ -62,6 +63,15 @@ net::PacketType representative(MsgClass c) {
 
 StatsCollector::StatsCollector(std::size_t node_count) : nodes_(node_count) {}
 
+void StatsCollector::set_metrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (!metrics_) return;
+  m_completions_ =
+      metrics_->register_counter("node.completions", obs::Unit::kCount, true);
+  m_segments_ = metrics_->register_counter("node.segments_completed",
+                                           obs::Unit::kCount, true);
+}
+
 void StatsCollector::on_transmit(net::NodeId src, const net::Packet& pkt,
                                  sim::Time now) {
   if (src < nodes_.size()) ++nodes_[src].sent[pkt.type()];
@@ -73,12 +83,23 @@ void StatsCollector::on_transmit(net::NodeId src, const net::Packet& pkt,
   }
 }
 
-void StatsCollector::on_deliver(net::NodeId /*src*/, net::NodeId dst,
+void StatsCollector::on_deliver(net::NodeId src, net::NodeId dst,
                                 const net::Packet& pkt, sim::Time now) {
   if (dst < nodes_.size()) ++nodes_[dst].received[pkt.type()];
   if (event_log_) {
+    // "Data<5" — type plus sender, so the trace exporter can pair this
+    // delivery with node 5's transmission and draw a flow arrow. Stack
+    // buffer: fits kInlineDetail, never allocates.
+    char detail[trace::EventLog::kInlineDetail + 1];
+    int len = std::snprintf(detail, sizeof(detail), "%s<%u",
+                            net::type_name(pkt.type()),
+                            static_cast<unsigned>(src));
+    if (len < 0) len = 0;
+    if (static_cast<std::size_t>(len) >= sizeof(detail)) {
+      len = static_cast<int>(sizeof(detail) - 1);
+    }
     event_log_->record(now, dst, trace::EventKind::kPacketReceived,
-                       std::string_view(net::type_name(pkt.type())));
+                       std::string_view(detail, static_cast<std::size_t>(len)));
   }
 }
 
@@ -92,6 +113,7 @@ void StatsCollector::on_completed(net::NodeId id, sim::Time now) {
   if (n.completion_time >= 0) return;  // already recorded
   n.completion_time = now;
   ++completed_;
+  if (metrics_) metrics_->add(m_completions_, id);
   if (event_log_) {
     event_log_->record(now, id, trace::EventKind::kImageCompleted);
   }
@@ -102,7 +124,10 @@ void StatsCollector::on_segment_completed(net::NodeId id, std::uint16_t seg,
   if (id >= nodes_.size() || seg == 0) return;
   auto& v = nodes_[id].segment_completion;
   if (v.size() < seg) v.resize(seg, sim::kNever);
-  if (v[seg - 1] < 0) v[seg - 1] = now;
+  if (v[seg - 1] < 0) {
+    v[seg - 1] = now;
+    if (metrics_) metrics_->add(m_segments_, id);
+  }
   if (event_log_) {
     event_log_->record(now, id, trace::EventKind::kSegmentCompleted,
                        static_cast<std::uint64_t>(seg));

@@ -13,6 +13,7 @@
 
 #include "net/channel.hpp"
 #include "net/packet.hpp"
+#include "obs/metrics.hpp"
 #include "sim/time.hpp"
 #include "trace/event_log.hpp"
 
@@ -57,8 +58,16 @@ class StatsCollector final : public net::ChannelObserver {
 
   /// Optional protocol event log; when attached, traffic and completion
   /// events are recorded (protocols add their own state transitions).
+  /// Receive events carry the sender in the detail ("Data<5") so the trace
+  /// exporter can draw flow arrows.
   void set_event_log(trace::EventLog* log) { event_log_ = log; }
   trace::EventLog* event_log() const { return event_log_; }
+
+  /// Optional metrics registry; when attached, completion milestones are
+  /// mirrored into node.* counters, and protocols reach the registry here
+  /// (via Node::stats()) to register their own handles.
+  void set_metrics(obs::MetricsRegistry* metrics);
+  obs::MetricsRegistry* metrics() const { return metrics_; }
 
   // --- queries ---------------------------------------------------------
   const NodeStats& node(net::NodeId id) const { return nodes_.at(id); }
@@ -82,6 +91,9 @@ class StatsCollector final : public net::ChannelObserver {
 
  private:
   trace::EventLog* event_log_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::Counter m_completions_;
+  obs::MetricsRegistry::Counter m_segments_;
   std::vector<NodeStats> nodes_;
   std::size_t completed_ = 0;
   std::vector<net::NodeId> sender_order_;

@@ -1,0 +1,75 @@
+// Minimal deterministic JSON writer for the telemetry exports.
+//
+// Every byte of a run's telemetry is part of the determinism contract
+// (DESIGN.md section 9): the same (config, seed) pair must produce
+// bit-identical metrics and trace files regardless of --jobs. Formatting
+// therefore avoids locale-dependent iostream state entirely — numbers go
+// through snprintf with fixed format strings, strings through one escape
+// routine — and the writer emits keys exactly in the order the caller
+// supplies them (callers sort where the schema says "sorted").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mnp::obs {
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control chars) and returns
+/// it wrapped in double quotes.
+std::string json_quote(std::string_view s);
+
+/// Fixed-format double rendering: "%.10g", with non-finite values mapped
+/// to null (JSON has no NaN/Inf). Deterministic for identical bit patterns.
+std::string json_number(double v);
+
+/// Streaming writer producing compact JSON into an owned buffer. The
+/// caller is responsible for well-formedness (begin/end pairing); the
+/// writer only tracks whether a comma separator is due.
+class JsonWriter {
+ public:
+  void begin_object() { separator(); out_ += '{'; fresh_ = true; }
+  void end_object() { out_ += '}'; fresh_ = false; }
+  void begin_array() { separator(); out_ += '['; fresh_ = true; }
+  void end_array() { out_ += ']'; fresh_ = false; }
+
+  /// Object key; follow with exactly one value (or begin_*).
+  void key(std::string_view k) {
+    separator();
+    out_ += json_quote(k);
+    out_ += ':';
+    fresh_ = true;  // the value that follows needs no comma
+  }
+
+  void value(std::string_view s) { separator(); out_ += json_quote(s); }
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v) { separator(); out_ += json_number(v); }
+  void value(bool b) { separator(); out_ += b ? "true" : "false"; }
+  void value(std::uint64_t v) { separator(); out_ += std::to_string(v); }
+  void value(std::int64_t v) { separator(); out_ += std::to_string(v); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void null() { separator(); out_ += "null"; }
+
+  /// Splices a pre-rendered JSON fragment (already valid) as one value.
+  void raw(std::string_view fragment) {
+    separator();
+    out_.append(fragment);
+  }
+
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void separator() {
+    if (!fresh_ && !out_.empty()) {
+      const char last = out_.back();
+      if (last != '{' && last != '[' && last != ':') out_ += ',';
+    }
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace mnp::obs

@@ -1,0 +1,265 @@
+#include "obs/trace_export.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/json_writer.hpp"
+#include "obs/metrics.hpp"
+
+namespace mnp::obs {
+
+namespace {
+
+/// Emits one trace event object. Field order is fixed (part of the
+/// byte-identical contract): name, cat, ph, pid, tid, ts [, dur][, id].
+struct EventWriter {
+  JsonWriter& w;
+
+  void begin(std::string_view name, std::string_view cat, char ph,
+             std::uint32_t pid, int tid, sim::Time ts) {
+    w.begin_object();
+    w.key("name");
+    w.value(name);
+    if (!cat.empty()) {
+      w.key("cat");
+      w.value(cat);
+    }
+    w.key("ph");
+    w.value(std::string_view(&ph, 1));
+    w.key("pid");
+    w.value(static_cast<std::uint64_t>(pid));
+    w.key("tid");
+    w.value(static_cast<std::int64_t>(tid));
+    w.key("ts");
+    w.value(static_cast<std::int64_t>(ts));
+  }
+  void end() { w.end_object(); }
+
+  void slice(std::string_view name, std::string_view cat, std::uint32_t pid,
+             int tid, sim::Time ts, sim::Time dur) {
+    begin(name, cat, 'X', pid, tid, ts);
+    w.key("dur");
+    w.value(static_cast<std::int64_t>(dur < 1 ? 1 : dur));
+    end();
+  }
+
+  void flow(std::string_view name, char ph, std::uint64_t id,
+            std::uint32_t pid, int tid, sim::Time ts) {
+    begin(name, "msg", ph, pid, tid, ts);
+    w.key("id");
+    w.value(id);
+    if (ph == 'f') {
+      w.key("bp");
+      w.value("e");  // bind to the enclosing slice's end
+    }
+    end();
+  }
+
+  void instant(std::string_view name, std::uint32_t pid, int tid,
+               sim::Time ts) {
+    begin(name, "mark", 'i', pid, tid, ts);
+    w.key("s");
+    w.value("t");  // thread-scoped tick
+    end();
+  }
+
+  void metadata(std::string_view what, std::uint32_t pid, int tid,
+                std::string_view value) {
+    begin(what, {}, 'M', pid, tid, 0);
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(value);
+    w.end_object();
+    end();
+  }
+
+  void counter(std::string_view name, std::uint32_t pid, sim::Time ts,
+               double value) {
+    begin(name, "counter", 'C', pid, 0, ts);
+    w.key("args");
+    w.begin_object();
+    w.key("value");
+    w.value(value);
+    w.end_object();
+    end();
+  }
+};
+
+constexpr int kStateTid = 0;
+constexpr int kRadioTid = 1;
+constexpr int kMsgTid = 2;
+
+/// "Idle->Download" -> {"Idle", "Download"}; empty views when malformed.
+std::pair<std::string_view, std::string_view> split_transition(
+    std::string_view detail) {
+  const std::size_t arrow = detail.find("->");
+  if (arrow == std::string_view::npos) return {{}, {}};
+  return {detail.substr(0, arrow), detail.substr(arrow + 2)};
+}
+
+/// "Data<5" -> {"Data", 5}; src == kNoNode when no source suffix (old
+/// recordings or non-channel receive events).
+std::pair<std::string_view, net::NodeId> split_receive(
+    std::string_view detail) {
+  const std::size_t mark = detail.rfind('<');
+  if (mark == std::string_view::npos) return {detail, net::kNoNode};
+  std::uint32_t id = 0;
+  bool any = false;
+  for (const char c : detail.substr(mark + 1)) {
+    if (c < '0' || c > '9') return {detail, net::kNoNode};
+    id = id * 10 + static_cast<std::uint32_t>(c - '0');
+    any = true;
+  }
+  if (!any || id >= net::kNoNode) return {detail, net::kNoNode};
+  return {detail.substr(0, mark), static_cast<net::NodeId>(id)};
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const trace::EventLog& log,
+                              std::size_t node_count,
+                              const std::vector<CounterSeries>& counters,
+                              const TraceExportOptions& options) {
+  const std::vector<trace::Event> events =
+      log.query([](const trace::Event&) { return true; });
+
+  sim::Time end_ts = 1;
+  for (const auto& e : events) end_ts = std::max(end_ts, e.time);
+  for (const auto& s : counters) {
+    for (const auto& [t, v] : s.samples) end_ts = std::max(end_ts, t);
+  }
+
+  JsonWriter w;
+  EventWriter ev{w};
+  w.begin_object();
+  w.key("schema_version");
+  w.value(static_cast<std::int64_t>(kTelemetrySchemaVersion));
+  w.key("displayTimeUnit");
+  w.value("ms");
+  w.key("dropped_events");
+  w.value(log.dropped());
+  w.key("traceEvents");
+  w.begin_array();
+
+  // --- track metadata ----------------------------------------------------
+  for (std::size_t n = 0; n < node_count; ++n) {
+    const auto pid = static_cast<std::uint32_t>(n);
+    ev.metadata("process_name", pid, 0, "node " + std::to_string(n));
+    ev.metadata("thread_name", pid, kStateTid, "state");
+    ev.metadata("thread_name", pid, kRadioTid, "radio");
+    ev.metadata("thread_name", pid, kMsgTid, "msgs");
+  }
+  for (const auto& s : counters) {
+    if (s.pid >= node_count && !s.process.empty()) {
+      ev.metadata("process_name", s.pid, 0, s.process);
+    }
+  }
+
+  // --- per-node open-slice tracking -------------------------------------
+  // The initial protocol state opens at t=0 (nodes are idle from power-on;
+  // change_state suppresses same-state records, so the first transition is
+  // the first time anything moves).
+  std::vector<std::string> state(node_count);
+  std::vector<sim::Time> state_since(node_count, 0);
+  std::vector<char> radio_on(node_count, 0);
+  std::vector<sim::Time> radio_since(node_count, 0);
+  // Flow pairing: radios are half-duplex, so a delivery always belongs to
+  // the source's most recent transmission.
+  std::vector<std::uint64_t> last_flow(node_count, 0);
+  std::uint64_t flow_seq = 0;
+
+  for (const auto& e : events) {
+    if (e.node >= node_count) continue;
+    const auto pid = static_cast<std::uint32_t>(e.node);
+    switch (e.kind) {
+      case trace::EventKind::kStateChange: {
+        if (!options.state_slices) break;
+        const auto [from, to] = split_transition(e.detail);
+        if (to.empty()) break;
+        const std::string_view leaving =
+            state[e.node].empty() ? from : std::string_view(state[e.node]);
+        if (!leaving.empty() && e.time > state_since[e.node]) {
+          ev.slice(leaving, "state", pid, kStateTid, state_since[e.node],
+                   e.time - state_since[e.node]);
+        }
+        state[e.node].assign(to);
+        state_since[e.node] = e.time;
+        break;
+      }
+      case trace::EventKind::kRadioOn:
+        if (!options.radio_slices || radio_on[e.node]) break;
+        radio_on[e.node] = 1;
+        radio_since[e.node] = e.time;
+        break;
+      case trace::EventKind::kRadioOff:
+        if (!options.radio_slices || !radio_on[e.node]) break;
+        radio_on[e.node] = 0;
+        ev.slice("on", "radio", pid, kRadioTid, radio_since[e.node],
+                 e.time - radio_since[e.node]);
+        break;
+      case trace::EventKind::kPacketSent: {
+        if (!options.messages) break;
+        const std::uint64_t id = ++flow_seq;
+        last_flow[e.node] = id;
+        ev.slice(e.detail, "msg", pid, kMsgTid, e.time, 1);
+        ev.flow(e.detail, 's', id, pid, kMsgTid, e.time);
+        break;
+      }
+      case trace::EventKind::kPacketReceived: {
+        if (!options.messages) break;
+        const auto [name, src] = split_receive(e.detail);
+        ev.slice(name, "msg", pid, kMsgTid, e.time, 1);
+        if (src != net::kNoNode && src < node_count && last_flow[src] != 0) {
+          ev.flow(name, 'f', last_flow[src], pid, kMsgTid, e.time);
+        }
+        break;
+      }
+      case trace::EventKind::kSegmentCompleted:
+        if (options.instants) {
+          ev.instant("segment " + e.detail, pid, kStateTid, e.time);
+        }
+        break;
+      case trace::EventKind::kImageCompleted:
+        if (options.instants) {
+          ev.instant("image complete", pid, kStateTid, e.time);
+        }
+        break;
+      case trace::EventKind::kNote:
+        if (options.instants && !e.detail.empty()) {
+          ev.instant(e.detail, pid, kStateTid, e.time);
+        }
+        break;
+    }
+  }
+
+  // Close every slice still open so the final residency is visible.
+  for (std::size_t n = 0; n < node_count; ++n) {
+    const auto pid = static_cast<std::uint32_t>(n);
+    if (options.state_slices && !state[n].empty() && end_ts > state_since[n]) {
+      ev.slice(state[n], "state", pid, kStateTid, state_since[n],
+               end_ts - state_since[n]);
+    }
+    if (options.radio_slices && radio_on[n] && end_ts > radio_since[n]) {
+      ev.slice("on", "radio", pid, kRadioTid, radio_since[n],
+               end_ts - radio_since[n]);
+    }
+  }
+
+  for (const auto& s : counters) {
+    for (const auto& [t, v] : s.samples) ev.counter(s.name, s.pid, t, v);
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+void write_chrome_trace(std::ostream& os, const trace::EventLog& log,
+                        std::size_t node_count,
+                        const std::vector<CounterSeries>& counters,
+                        const TraceExportOptions& options) {
+  os << chrome_trace_json(log, node_count, counters, options);
+}
+
+}  // namespace mnp::obs

@@ -1,0 +1,66 @@
+// TraceExporter: converts a run's EventLog into Chrome trace-event JSON
+// that loads directly in Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Track layout (the versioned contract, DESIGN.md section 9):
+//   * one process per node (pid = node id, process_name "node N"),
+//   * tid 0 "state":  protocol state residency as complete slices — the
+//     Fig.-4 machine's life, one colored bar per state visit — plus
+//     instant markers for segment/image completions,
+//   * tid 1 "radio":  radio-on residency slices; the visible share of
+//     this track *is* the paper's active-radio-time metric,
+//   * tid 2 "msgs":   1 us marker slices per packet sent/received, with
+//     flow arrows connecting each transmission to its deliveries,
+//   * counter tracks (ph "C"), e.g. per-node cumulative energy and the
+//     per-minute message-class rates, appended by the harness.
+//
+// The export is a pure function of the log plus the supplied counter
+// series: identical runs produce byte-identical files, which is what the
+// golden test (tests/test_obs.cpp) pins.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "trace/event_log.hpp"
+
+namespace mnp::obs {
+
+/// One counter track: samples of a cumulative or rate value over time,
+/// rendered by Perfetto as a step line under process `pid`.
+struct CounterSeries {
+  std::string name;
+  std::uint32_t pid = 0;
+  /// Process name emitted for pids beyond the node range (e.g. a virtual
+  /// "network" process for run-wide rates). Empty = assume a node pid.
+  std::string process;
+  std::vector<std::pair<sim::Time, double>> samples;
+};
+
+struct TraceExportOptions {
+  bool state_slices = true;
+  bool radio_slices = true;
+  /// Packet marker slices + flow arrows (send -> each delivery).
+  bool messages = true;
+  /// Instant markers for segment/image completion.
+  bool instants = true;
+};
+
+/// Renders the trace as a JSON string (see write_chrome_trace).
+std::string chrome_trace_json(const trace::EventLog& log,
+                              std::size_t node_count,
+                              const std::vector<CounterSeries>& counters = {},
+                              const TraceExportOptions& options = {});
+
+/// Writes the Chrome trace-event file: a top-level object with
+/// "schema_version", "displayTimeUnit", "dropped_events" and the
+/// "traceEvents" array. Timestamps are simulation microseconds verbatim.
+void write_chrome_trace(std::ostream& os, const trace::EventLog& log,
+                        std::size_t node_count,
+                        const std::vector<CounterSeries>& counters = {},
+                        const TraceExportOptions& options = {});
+
+}  // namespace mnp::obs

@@ -62,6 +62,7 @@ class EventLog {
               std::uint64_t value);
 
   std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
   std::uint64_t total_recorded() const { return total_; }
   std::uint64_t dropped() const { return total_ - ring_.size(); }
   void clear();

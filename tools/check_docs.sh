@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Docs/build-tree consistency check: every `build/.../<binary>` path named
+# in the docs (README quickstarts, EXPERIMENTS.md regeneration recipes)
+# must refer to an executable target declared somewhere in the CMake tree,
+# so a renamed or deleted bench cannot leave a stale recipe behind. Runs
+# without configuring a build — targets are parsed from CMakeLists.txt.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs=(README.md EXPERIMENTS.md DESIGN.md)
+fail=0
+
+# Every executable target declared in the tree.
+targets=$(grep -rhoE '(add_executable|mnp_add_(bench|test|example))\( *[A-Za-z0-9_]+' \
+            --include=CMakeLists.txt . |
+          sed -E 's/.*\( *//' | sort -u)
+
+# Every build/<dir>/<name> path mentioned in the docs (fenced or inline).
+mentions=$(grep -hoE '(\./)?build[-A-Za-z0-9_]*/[A-Za-z0-9_/]+' "${docs[@]}" |
+           sed 's|^\./||' | sort -u)
+
+checked=0
+while IFS= read -r path; do
+  [ -n "$path" ] || continue
+  name=$(basename "$path")
+  case "$name" in
+    bench | tests | examples | tools) continue ;;  # bare directory mention
+    *_) continue ;;                                # glob prefix (bench_*)
+  esac
+  checked=$((checked + 1))
+  if ! grep -qx "$name" <<< "$targets"; then
+    echo "check_docs: '$path' names no executable target ('$name')" >&2
+    fail=1
+  fi
+done <<< "$mentions"
+
+# The observability flags the recipes advertise must exist in the parser.
+for flag in --trace-out --metrics-out; do
+  if ! grep -q -- "\"$flag\"" src/harness/observe.cpp; then
+    echo "check_docs: documented flag $flag not found in observe.cpp" >&2
+    fail=1
+  fi
+done
+
+if [ "$fail" -eq 0 ]; then
+  echo "check_docs: OK ($checked documented binary paths resolve to targets)"
+fi
+exit "$fail"

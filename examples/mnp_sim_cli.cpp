@@ -5,7 +5,7 @@
 //               [--spacing FT] [--range FT] [--segments N] [--bytes N]
 //               [--seed N] [--mac csma|tdma] [--no-pipelining]
 //               [--no-query-update] [--battery-aware] [--duty-cycle F]
-//               [--disk-links] [--csv PREFIX] [--quiet]
+//               [--disk-links] [--scenario PATH] [--csv PREFIX] [--quiet]
 //               [--runs N] [--jobs N]
 //               [--trace-out PATH] [--metrics-out PATH]
 //
@@ -14,6 +14,7 @@
 //   mnp_sim_cli --protocol deluge --segments 2 --csv out/d  # CSVs for plots
 //   mnp_sim_cli --runs 10 --jobs 4    # 10-seed sweep on 4 worker threads
 //   mnp_sim_cli --trace-out run.json  # Perfetto trace (open in ui.perfetto.dev)
+//   mnp_sim_cli --scenario examples/scenarios/churn_partition_mobility.scn
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -24,6 +25,7 @@
 #include "harness/observe.hpp"
 #include "harness/report.hpp"
 #include "harness/sweep.hpp"
+#include "scenario/scenario_parser.hpp"
 
 namespace {
 
@@ -43,6 +45,9 @@ namespace {
       << "  --battery-aware                  scale adv power by battery\n"
       << "  --duty-cycle F                   pre-wave duty cycle (0..1)\n"
       << "  --disk-links                     ideal disk links (no loss)\n"
+      << "  --scenario PATH                  fault-injection schedule (churn,\n"
+      << "                                   partitions, mobility; see\n"
+      << "                                   examples/scenarios/)\n"
       << "  --csv PREFIX                     write PREFIX.{nodes,timeline,summary}.csv\n"
       << "  --quiet                          summary only (no maps)\n"
       << "  --runs N                         sweep N seeds (starting at --seed)\n"
@@ -120,6 +125,13 @@ int main(int argc, char** argv) {
       cfg.mnp.pre_wave_duty_cycle = std::stod(need_value(i));
     } else if (!std::strcmp(arg, "--disk-links")) {
       cfg.empirical_links = false;
+    } else if (!std::strcmp(arg, "--scenario")) {
+      const auto parsed = scenario::load_scenario_file(need_value(i));
+      if (!parsed.ok) {
+        std::cerr << "--scenario: " << parsed.error << "\n";
+        return 2;
+      }
+      cfg.scenario = parsed.scenario;
     } else if (!std::strcmp(arg, "--csv")) {
       csv_prefix = need_value(i);
     } else if (!std::strcmp(arg, "--quiet")) {
@@ -170,10 +182,16 @@ int main(int argc, char** argv) {
   harness::Observation observation;
   const auto result = harness::run_experiment(
       cfg, obs_cli.enabled() ? &observation : nullptr);
+  if (!result.scenario_error.empty()) return 2;
   if (obs_cli.enabled() && !obs_cli.write(cfg, cfg.seed, 1, observation)) {
     return 1;
   }
   harness::print_summary(std::cout, title.c_str(), result);
+  if (!cfg.scenario.empty()) {
+    std::cout << "scenario '" << cfg.scenario.name() << "': "
+              << result.scenario_injected << " injected event(s), "
+              << result.dead_nodes << " node(s) dead at end\n";
+  }
   if (!quiet) {
     std::cout << "\n";
     harness::print_parent_map(std::cout, result, cfg.base);

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "boot/progress_journal.hpp"
 #include "node/stats.hpp"
 
 namespace mnp::baselines {
@@ -37,8 +38,54 @@ void DelugeNode::start(node::Node& node) {
     known_pages_ = image_->num_segments();
     complete_pages_ = known_pages_;
     node_->stats().on_completed(node_->id(), node_->now());
+  } else if (recover_journal() && has_complete_image()) {
+    node_->stats().on_completed(node_->id(), node_->now());
   }
   start_round(/*reset_tau=*/true);
+}
+
+bool DelugeNode::recover_journal() {
+  if (!config_.journal_progress) return false;
+  boot::ProgressJournal journal(node_->eeprom());
+  auto rec = journal.recover();
+  if (!rec || rec->units.empty()) return false;
+  const std::size_t page_bytes =
+      static_cast<std::size_t>(config_.packets_per_page) * config_.payload_bytes;
+  version_ = rec->program_id;
+  program_bytes_ = rec->program_bytes;
+  known_pages_ = static_cast<std::uint16_t>(
+      (rec->program_bytes + page_bytes - 1) / page_bytes);
+  // Pages complete strictly in order; the journal holds the prefix 1..k.
+  std::uint16_t contiguous = 0;
+  for (std::uint16_t unit : rec->units) {
+    if (unit == contiguous + 1) contiguous = unit;
+  }
+  complete_pages_ = contiguous;
+  return complete_pages_ > 0;
+}
+
+void DelugeNode::reset_for_reboot() {
+  round_timer_.cancel();
+  round_end_timer_.cancel();
+  request_timer_.cancel();
+  rx_idle_timer_.cancel();
+  tx_timer_.cancel();
+  if (state_ != State::kMaintain) {
+    state_ = State::kMaintain;
+  }
+  version_ = 0;
+  program_bytes_ = 0;
+  known_pages_ = 0;
+  complete_pages_ = 0;
+  tau_ = 0;
+  heard_consistent_ = 0;
+  missing_ = util::Bitmap{};
+  missing_for_page_ = 0;
+  rx_source_ = net::kNoNode;
+  request_rounds_ = 0;
+  tx_page_ = 0;
+  tx_vector_ = util::Bitmap{};
+  tx_cursor_ = 0;
 }
 
 // --------------------------------------------------------------------------
@@ -271,6 +318,12 @@ void DelugeNode::store_data(const net::DelugeDataMsg& msg) {
 
 void DelugeNode::page_completed() {
   ++complete_pages_;
+  if (config_.journal_progress) {
+    boot::ProgressJournal journal(node_->eeprom());
+    if (journal.usable(program_bytes_)) {
+      journal.append(version_, program_bytes_, complete_pages_);
+    }
+  }
   node_->stats().on_segment_completed(node_->id(), complete_pages_, node_->now());
   if (has_complete_image()) {
     node_->stats().on_completed(node_->id(), node_->now());

@@ -48,6 +48,11 @@ struct DelugeConfig {
   sim::Time rx_idle_timeout = sim::sec(3);
 
   sim::Time tx_pump_interval = sim::msec(10);
+
+  /// Crash-safe page journaling (boot::ProgressJournal in the EEPROM
+  /// tail): rebooted nodes resume from their completed-page prefix. Off
+  /// by default; the harness enables it for churn scenarios.
+  bool journal_progress = false;
 };
 
 class DelugeNode final : public node::Application {
@@ -62,6 +67,9 @@ class DelugeNode final : public node::Application {
   bool has_complete_image() const override {
     return known_pages_ > 0 && complete_pages_ == known_pages_;
   }
+  /// Power cycle: timers and Trickle/RX/TX state die; start() replays the
+  /// page journal (if enabled) from the surviving EEPROM.
+  void reset_for_reboot() override;
 
   State state() const { return state_; }
   std::uint16_t complete_pages() const { return complete_pages_; }
@@ -84,6 +92,7 @@ class DelugeNode final : public node::Application {
 
   void store_data(const net::DelugeDataMsg& msg);
   void page_completed();
+  bool recover_journal();
 
   std::uint16_t packets_in(std::uint16_t page) const;
   std::size_t payload_len(std::uint16_t page, std::uint16_t pkt) const;

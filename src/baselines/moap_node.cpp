@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "boot/progress_journal.hpp"
 #include "node/stats.hpp"
 
 namespace mnp::baselines {
@@ -39,7 +40,86 @@ void MoapNode::start(node::Node& node) {
     have_count_ = total_packets_;
     node_->stats().on_completed(node_->id(), node_->now());
     become_publisher();
+  } else if (recover_journal() && has_complete_image()) {
+    // Rebooted after finishing the download: rejoin as a publisher.
+    node_->stats().on_completed(node_->id(), node_->now());
+    become_publisher();
   }
+  // A partially recovered node stays Idle; the next publish it hears
+  // re-subscribes it, and NACKs pull down only the missing tail.
+}
+
+void MoapNode::maybe_journal() {
+  if (!config_.journal_progress || total_packets_ == 0) return;
+  boot::ProgressJournal journal(node_->eeprom());
+  if (!journal.usable(program_bytes_)) return;
+  while (journaled_prefix_ < total_packets_) {
+    const std::uint32_t next_end =
+        std::min(journaled_prefix_ + kJournalChunkPackets, total_packets_);
+    bool chunk_complete = true;
+    for (std::uint32_t i = journaled_prefix_; i < next_end; ++i) {
+      if (!have_[i]) {
+        chunk_complete = false;
+        break;
+      }
+    }
+    if (!chunk_complete) break;
+    const std::uint16_t chunk =
+        static_cast<std::uint16_t>(journaled_prefix_ / kJournalChunkPackets + 1);
+    journal.append(version_, program_bytes_, chunk);
+    journaled_prefix_ = next_end;
+  }
+}
+
+bool MoapNode::recover_journal() {
+  if (!config_.journal_progress) return false;
+  boot::ProgressJournal journal(node_->eeprom());
+  auto rec = journal.recover();
+  if (!rec || rec->units.empty()) return false;
+  version_ = rec->program_id;
+  program_bytes_ = rec->program_bytes;
+  total_packets_ = static_cast<std::uint32_t>(
+      (program_bytes_ + config_.payload_bytes - 1) / config_.payload_bytes);
+  have_.assign(total_packets_, false);
+  have_count_ = 0;
+  std::uint16_t contiguous = 0;
+  for (std::uint16_t unit : rec->units) {
+    if (unit == contiguous + 1) contiguous = unit;
+  }
+  journaled_prefix_ = std::min(
+      static_cast<std::uint32_t>(contiguous) * kJournalChunkPackets,
+      total_packets_);
+  for (std::uint32_t i = 0; i < journaled_prefix_; ++i) {
+    have_[i] = true;
+    ++have_count_;
+  }
+  return have_count_ > 0;
+}
+
+void MoapNode::reset_for_reboot() {
+  rx_idle_timer_.cancel();
+  nack_timer_.cancel();
+  publish_timer_.cancel();
+  subscribe_window_timer_.cancel();
+  pump_timer_.cancel();
+  repair_timer_.cancel();
+  if (state_ != State::kIdle) {
+    state_ = State::kIdle;
+  }
+  version_ = 0;
+  program_bytes_ = 0;
+  total_packets_ = 0;
+  have_.clear();
+  have_count_ = 0;
+  journaled_prefix_ = 0;
+  source_ = net::kNoNode;
+  last_nack_time_ = -1;
+  last_idle_have_count_ = 0;
+  stalled_idles_ = 0;
+  saw_subscriber_ = false;
+  stream_cursor_ = 0;
+  retransmit_queue_.clear();
+  publish_interval_hi_ = 0;
 }
 
 std::size_t MoapNode::payload_len(std::uint16_t pkt_id) const {
@@ -274,6 +354,7 @@ void MoapNode::handle_data(const Packet& pkt, const net::MoapDataMsg& msg) {
         static_cast<std::size_t>(msg.pkt_id) * config_.payload_bytes, msg.payload);
     have_[msg.pkt_id] = true;
     ++have_count_;
+    maybe_journal();
   }
   rx_idle_timer_.cancel();
   rx_idle_timer_ = node_->schedule(config_.rx_idle_timeout, [this] { rx_idle(); });

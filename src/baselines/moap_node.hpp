@@ -44,6 +44,12 @@ struct MoapConfig {
 
   /// Publisher: repair phase ends after this long without a NACK.
   sim::Time repair_idle_timeout = sim::sec(2);
+
+  /// Crash-safe progress journaling (boot::ProgressJournal): every
+  /// 64-packet contiguous prefix chunk is journaled, and a rebooted node
+  /// resumes from the journaled prefix. Off by default; the harness
+  /// enables it for churn scenarios.
+  bool journal_progress = false;
 };
 
 class MoapNode final : public node::Application {
@@ -58,6 +64,12 @@ class MoapNode final : public node::Application {
   bool has_complete_image() const override {
     return total_packets_ > 0 && have_count_ == total_packets_;
   }
+  /// Power cycle: timers and all pub/sub state die; start() replays the
+  /// chunk journal (if enabled) from the surviving EEPROM.
+  void reset_for_reboot() override;
+
+  /// Journal granularity: one record per this many contiguous packets.
+  static constexpr std::uint32_t kJournalChunkPackets = 64;
 
   State state() const { return state_; }
   bool is_publisher_capable() const { return has_complete_image(); }
@@ -77,6 +89,9 @@ class MoapNode final : public node::Application {
   void become_publisher();
 
   std::size_t payload_len(std::uint16_t pkt_id) const;
+  /// Journals every newly completed 64-packet contiguous prefix chunk.
+  void maybe_journal();
+  bool recover_journal();
 
   MoapConfig config_;
   std::shared_ptr<const core::ProgramImage> image_;
@@ -94,6 +109,9 @@ class MoapNode final : public node::Application {
   std::uint32_t total_packets_ = 0;
   std::vector<bool> have_;
   std::size_t have_count_ = 0;
+  /// Packets covered by journal records so far (a multiple of the chunk
+  /// size, except possibly the final chunk).
+  std::uint32_t journaled_prefix_ = 0;
 
   // Receiver side.
   net::NodeId source_ = net::kNoNode;

@@ -20,14 +20,66 @@ XnpNode::XnpNode(XnpConfig config, std::shared_ptr<const core::ProgramImage> ima
 
 void XnpNode::start(node::Node& node) {
   node_ = &node;
+  if ((metrics_ = node_->stats().metrics()) != nullptr) {
+    m_data_sent_ =
+        metrics_->register_counter("xnp.data_sent", obs::Unit::kCount, true);
+    m_fix_requests_ = metrics_->register_counter("xnp.fix_requests_sent",
+                                                 obs::Unit::kCount, true);
+    m_query_rounds_ = metrics_->register_counter("xnp.query_rounds",
+                                                 obs::Unit::kCount, true);
+  }
   node_->radio_on();
   if (image_) {
     total_packets_ = static_cast<std::uint32_t>(
         (image_->total_bytes() + config_.payload_bytes - 1) / config_.payload_bytes);
     node_->stats().on_completed(node_->id(), node_->now());
     node_->stats().on_became_sender(node_->id(), node_->now());
+    set_phase(Phase::kStream);
     pump_timer_ = node_->schedule(config_.pump_interval, [this] { pump_data(); });
   }
+}
+
+const char* XnpNode::phase_cname(Phase p) {
+  switch (p) {
+    case Phase::kIdle: return "Idle";
+    case Phase::kStream: return "Stream";
+    case Phase::kQuery: return "Query";
+    case Phase::kDone: return "Done";
+  }
+  return "?";
+}
+
+void XnpNode::set_phase(Phase next) {
+  if (next == phase_) return;
+  if (auto* log = node_->stats().event_log()) {
+    // Format "Old->New" in a stack buffer; the log copies it inline.
+    char buf[2 * 8 + 2];
+    char* p = buf;
+    for (const char* s = phase_cname(phase_); *s != '\0';) *p++ = *s++;
+    *p++ = '-';
+    *p++ = '>';
+    for (const char* s = phase_cname(next); *s != '\0';) *p++ = *s++;
+    log->record(node_->now(), node_->id(), trace::EventKind::kStateChange,
+                std::string_view(buf, static_cast<std::size_t>(p - buf)));
+  }
+  phase_ = next;
+}
+
+void XnpNode::reset_for_reboot() {
+  pump_timer_.cancel();
+  query_timer_.cancel();
+  fix_timer_.cancel();
+  phase_ = Phase::kIdle;
+  total_packets_ = 0;
+  have_.clear();
+  have_count_ = 0;
+  saw_last_packet_ = false;
+  cursor_ = 0;
+  fix_queue_.clear();
+  query_round_ = 0;
+  quiet_rounds_ = 0;
+  round_had_requests_ = false;
+  done_ = false;
 }
 
 bool XnpNode::has_complete_image() const {
@@ -66,8 +118,11 @@ void XnpNode::pump_data() {
                         image_->bytes().begin() + static_cast<long>(offset),
                         image_->bytes().begin() + static_cast<long>(offset + len));
     pkt.payload = std::move(data);
-    node_->send(std::move(pkt));
+    if (node_->send(std::move(pkt)) && metrics_) {
+      metrics_->add(m_data_sent_, node_->id());
+    }
   }
+  set_phase(Phase::kStream);
   const bool pass_finished =
       cursor_ >= total_packets_ && fix_queue_.empty() && node_->mac().idle();
   if (pass_finished) {
@@ -82,6 +137,7 @@ void XnpNode::start_query_round() {
   ++query_round_;
   if (query_round_ > config_.max_query_rounds) {
     done_ = true;
+    set_phase(Phase::kDone);
     return;
   }
   if (round_had_requests_) {
@@ -90,10 +146,13 @@ void XnpNode::start_query_round() {
     ++quiet_rounds_;
     if (quiet_rounds_ >= config_.quiet_rounds_to_stop) {
       done_ = true;
+      set_phase(Phase::kDone);
       return;
     }
   }
   round_had_requests_ = false;
+  set_phase(Phase::kQuery);
+  if (metrics_) metrics_->add(m_query_rounds_, node_->id());
   Packet pkt;
   pkt.payload = net::XnpQueryMsg{static_cast<std::uint16_t>(total_packets_)};
   node_->send(std::move(pkt));
@@ -128,6 +187,7 @@ void XnpNode::handle_data(const net::XnpDataMsg& msg) {
     total_packets_ = msg.total_packets;
     have_.assign(total_packets_, false);
     node_->meter().mark_first_advertisement(node_->now());
+    set_phase(Phase::kStream);
   }
   if (msg.pkt_id >= have_.size() || have_[msg.pkt_id]) return;
   node_->eeprom().write(static_cast<std::size_t>(msg.pkt_id) * config_.payload_bytes,
@@ -137,6 +197,7 @@ void XnpNode::handle_data(const net::XnpDataMsg& msg) {
   if (have_count_ == total_packets_) {
     node_->stats().on_completed(node_->id(), node_->now());
     node_->stats().on_parent_set(node_->id(), 0);  // XNP: base is the parent
+    set_phase(Phase::kDone);
   }
 }
 
@@ -146,6 +207,7 @@ void XnpNode::handle_query(const net::XnpQueryMsg& msg) {
     total_packets_ = msg.total_packets;
     have_.assign(total_packets_, false);
     node_->meter().mark_first_advertisement(node_->now());
+    set_phase(Phase::kStream);
   }
   if (total_packets_ == 0) return;
   if (have_count_ == total_packets_) return;
@@ -159,7 +221,9 @@ void XnpNode::handle_query(const net::XnpQueryMsg& msg) {
       if (!have_[i]) {
         Packet pkt;
         pkt.payload = net::XnpFixRequestMsg{static_cast<std::uint16_t>(i)};
-        node_->send(std::move(pkt));
+        if (node_->send(std::move(pkt)) && metrics_) {
+          metrics_->add(m_fix_requests_, node_->id());
+        }
         ++sent;
       }
     }

@@ -15,6 +15,7 @@
 #include "mnp/program_image.hpp"
 #include "node/application.hpp"
 #include "node/node.hpp"
+#include "obs/metrics.hpp"
 
 namespace mnp::baselines {
 
@@ -34,6 +35,12 @@ struct XnpConfig {
 
 class XnpNode final : public node::Application {
  public:
+  /// Session phase, traced as state changes (XNP has no spec'd protocol
+  /// state machine; phases describe where the session is). Base stations
+  /// move Idle->Stream->Query(->Stream...)->Done; receivers move
+  /// Idle->Stream when they learn the program and ->Done on completion.
+  enum class Phase : std::uint8_t { kIdle, kStream, kQuery, kDone };
+
   /// Receiver.
   explicit XnpNode(XnpConfig config);
   /// Base station.
@@ -42,9 +49,14 @@ class XnpNode final : public node::Application {
   void start(node::Node& node) override;
   void on_packet(const net::Packet& pkt) override;
   bool has_complete_image() const override;
+  /// Power cycle: timers and receiver/base session state die; XNP has no
+  /// progress journal (its single-hop design predates resumability).
+  void reset_for_reboot() override;
 
   bool is_base() const { return static_cast<bool>(image_); }
   std::size_t packets_received() const;
+  Phase phase() const { return phase_; }
+  static const char* phase_cname(Phase p);
   /// Base-side introspection for tests: query rounds run so far and
   /// whether the base has concluded the session.
   int query_rounds() const { return query_round_; }
@@ -56,10 +68,21 @@ class XnpNode final : public node::Application {
   void handle_data(const net::XnpDataMsg& msg);
   void handle_query(const net::XnpQueryMsg& msg);
   void handle_fix_request(const net::XnpFixRequestMsg& msg);
+  /// Phase transition with event-log tracing (like MnpNode::change_state).
+  void set_phase(Phase next);
 
   XnpConfig config_;
   std::shared_ptr<const core::ProgramImage> image_;
   node::Node* node_ = nullptr;
+
+  // Telemetry handles (xnp.* of DESIGN.md section 9), registered at
+  // start() when the harness attached a registry.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::MetricsRegistry::Counter m_data_sent_;
+  obs::MetricsRegistry::Counter m_fix_requests_;
+  obs::MetricsRegistry::Counter m_query_rounds_;
+
+  Phase phase_ = Phase::kIdle;
 
   std::uint32_t total_packets_ = 0;  // receivers learn this from pkt ids seen
   std::vector<bool> have_;          // receiver-side packet map

@@ -1,0 +1,102 @@
+#include "boot/progress_journal.hpp"
+
+#include "util/crc32.hpp"
+
+namespace mnp::boot {
+
+namespace {
+
+// "PJ" — distinguishes a written slot from erased flash (zeros).
+constexpr std::uint16_t kMagic = 0x504A;
+
+void put_u16(std::vector<std::uint8_t>& out, std::size_t at, std::uint16_t v) {
+  out[at] = static_cast<std::uint8_t>(v & 0xFF);
+  out[at + 1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::size_t at, std::uint32_t v) {
+  for (std::size_t i = 0; i < 4; ++i) {
+    out[at + i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+std::uint16_t get_u16(const std::vector<std::uint8_t>& in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
+}
+
+std::uint32_t get_u32(const std::vector<std::uint8_t>& in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::optional<ProgressJournal::Record> ProgressJournal::read_slot(
+    std::size_t slot) {
+  const std::size_t at = region_offset() + slot * kSlotBytes;
+  const std::vector<std::uint8_t> raw = eeprom_.read(at, kSlotBytes);
+  if (raw.size() != kSlotBytes) return std::nullopt;
+  if (get_u16(raw, 0) != kMagic) return std::nullopt;
+  if (util::crc32(raw.data(), 12) != get_u32(raw, 12)) return std::nullopt;
+  Record rec;
+  rec.program_id = get_u16(raw, 2);
+  rec.program_bytes = get_u32(raw, 4);
+  rec.unit = get_u16(raw, 8);
+  return rec;
+}
+
+bool ProgressJournal::append(std::uint16_t program_id,
+                             std::uint32_t program_bytes, std::uint16_t unit) {
+  if (eeprom_.capacity() < kRegionBytes) return false;
+  // First slot that does not hold a valid record is the append point —
+  // re-derived from flash every time, because the RAM that could cache it
+  // is exactly what a crash wipes.
+  std::size_t slot = 0;
+  while (slot < slot_count() && read_slot(slot)) ++slot;
+  if (slot == slot_count()) return false;
+  std::vector<std::uint8_t> raw(kSlotBytes, 0);
+  put_u16(raw, 0, kMagic);
+  put_u16(raw, 2, program_id);
+  put_u32(raw, 4, program_bytes);
+  put_u16(raw, 8, unit);
+  // bytes 10-11 reserved (zero)
+  put_u32(raw, 12, util::crc32(raw.data(), 12));
+  return eeprom_.write(region_offset() + slot * kSlotBytes, raw);
+}
+
+std::optional<ProgressJournal::Recovered> ProgressJournal::recover() {
+  if (eeprom_.capacity() < kRegionBytes) return std::nullopt;
+  std::vector<Record> records;
+  for (std::size_t slot = 0; slot < slot_count(); ++slot) {
+    auto rec = read_slot(slot);
+    if (!rec) break;  // append-only: first invalid slot ends the journal
+    records.push_back(*rec);
+  }
+  if (records.empty()) return std::nullopt;
+  // Only the trailing run that shares the newest record's identity is the
+  // current download; anything before it is a previous program's journal.
+  const Record& last = records.back();
+  Recovered out;
+  out.program_id = last.program_id;
+  out.program_bytes = last.program_bytes;
+  std::size_t first = records.size();
+  while (first > 0 && records[first - 1].program_id == last.program_id &&
+         records[first - 1].program_bytes == last.program_bytes) {
+    --first;
+  }
+  for (std::size_t i = first; i < records.size(); ++i) {
+    out.units.push_back(records[i].unit);
+  }
+  return out;
+}
+
+std::size_t ProgressJournal::entries() {
+  std::size_t slot = 0;
+  while (slot < slot_count() && read_slot(slot)) ++slot;
+  return slot;
+}
+
+}  // namespace mnp::boot

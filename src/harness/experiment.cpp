@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <utility>
 
 #include "harness/observe.hpp"
@@ -10,6 +11,8 @@
 #include "mnp/program_image.hpp"
 #include "net/tdma_mac.hpp"
 #include "node/network.hpp"
+#include "scenario/scenario_engine.hpp"
+#include "scenario/scenario_link_model.hpp"
 #include "sim/simulator.hpp"
 
 namespace mnp::harness {
@@ -87,8 +90,20 @@ RunResult run_experiment(const ExperimentConfig& cfg) {
   return run_experiment(cfg, nullptr);
 }
 
-RunResult run_experiment(const ExperimentConfig& cfg,
+RunResult run_experiment(const ExperimentConfig& config,
                          Observation* observation) {
+  // A scenario changes protocol behaviour in exactly one way: rebooted
+  // nodes must find their download progress in EEPROM, so the journal
+  // flags flip on. Fault-free runs keep them off (and keep the repo's
+  // exact write-accounting guarantees).
+  ExperimentConfig cfg = config;
+  const bool scenario_active = !cfg.scenario.empty();
+  if (scenario_active) {
+    cfg.mnp.journal_progress = true;
+    cfg.deluge.journal_progress = true;
+    cfg.moap.journal_progress = true;
+  }
+
   sim::Simulator sim(cfg.seed);
   net::Topology topo = net::Topology::grid(cfg.rows, cfg.cols, cfg.spacing_ft);
 
@@ -106,6 +121,20 @@ RunResult run_experiment(const ExperimentConfig& cfg,
                                                 cfg.interference_factor);
   };
 
+  // With a scenario the link model is wrapped in the mutable decorator the
+  // engine drives; the pointer is captured as the factory runs.
+  scenario::ScenarioLinkModel* scenario_links = nullptr;
+  node::Network::LinkModelFactory link_factory = make_links;
+  if (scenario_active) {
+    link_factory = [&make_links, &scenario_links](const net::Topology& owned)
+        -> std::unique_ptr<net::LinkModel> {
+      auto wrapped = std::make_unique<scenario::ScenarioLinkModel>(
+          make_links(owned), owned.size());
+      scenario_links = wrapped.get();
+      return wrapped;
+    };
+  }
+
   node::Node::MacFactory mac_factory;  // null => CSMA
   if (cfg.mac == MacType::kTdma) {
     const std::uint32_t m = net::TdmaMac::tile_for_grid(
@@ -120,7 +149,7 @@ RunResult run_experiment(const ExperimentConfig& cfg,
     };
   }
 
-  node::Network network(sim, std::move(topo), make_links, cfg.channel, {},
+  node::Network network(sim, std::move(topo), link_factory, cfg.channel, {},
                         mac_factory);
 
   // Telemetry wiring must precede boot: protocols register their metric
@@ -137,6 +166,19 @@ RunResult run_experiment(const ExperimentConfig& cfg,
       image_payload_bytes(cfg));
   install_protocol(cfg, network, image);
   network.boot_all(cfg.boot_jitter);
+
+  std::optional<scenario::ScenarioEngine> engine;
+  if (scenario_active) {
+    engine.emplace(cfg.scenario, network, scenario_links, cfg.base);
+    std::string scenario_error;
+    if (!engine->arm(&scenario_error)) {
+      std::fprintf(stderr, "scenario '%s': %s\n", cfg.scenario.name().c_str(),
+                   scenario_error.c_str());
+      RunResult bad;
+      bad.scenario_error = std::move(scenario_error);
+      return bad;
+    }
+  }
 
   // Pre-scheduled cumulative-energy samples for the trace's counter
   // tracks. The sampler lambda reads state but never touches an RNG, so
@@ -172,8 +214,16 @@ RunResult run_experiment(const ExperimentConfig& cfg,
   }
 
   node::StatsCollector& stats = network.stats();
-  sim.run_until_condition(cfg.max_sim_time,
-                          [&stats] { return stats.all_completed(); });
+  if (engine) {
+    // Fault runs cannot stop at "everyone completed": a node may complete,
+    // crash, and still have a reboot pending — and a partition window must
+    // fully elapse so its closing edge lands in the trace.
+    sim.run_until_condition(cfg.max_sim_time,
+                            [&engine] { return engine->converged(); });
+  } else {
+    sim.run_until_condition(cfg.max_sim_time,
+                            [&stats] { return stats.all_completed(); });
+  }
 
   // ---- observation capture (before any verification EEPROM reads) -------
   if (observation) {
@@ -231,6 +281,12 @@ RunResult run_experiment(const ExperimentConfig& cfg,
   result.deliveries = network.channel().deliveries();
   result.collisions = network.channel().collisions();
   result.bulk_overlaps = network.channel().concurrent_bulk_overlaps();
+  if (engine) {
+    result.scenario_injected = engine->injected();
+    for (net::NodeId id = 0; id < network.size(); ++id) {
+      if (network.node(id).is_dead()) ++result.dead_nodes;
+    }
+  }
 
   result.nodes.resize(network.size());
   for (net::NodeId id = 0; id < network.size(); ++id) {

@@ -13,6 +13,7 @@
 #include "mnp/mnp_config.hpp"
 #include "net/channel.hpp"
 #include "net/link_model.hpp"
+#include "scenario/scenario.hpp"
 
 namespace mnp::harness {
 
@@ -65,6 +66,13 @@ struct ExperimentConfig {
   /// Battery-aware extension: per-node remaining-charge fractions
   /// (empty = everyone full). Only meaningful with mnp.battery_aware.
   std::vector<double> battery_levels;
+
+  /// Fault-injection schedule (empty = fault-free run). A non-empty
+  /// scenario wraps the link model in a ScenarioLinkModel, switches every
+  /// protocol to journal its EEPROM progress (so rebooted nodes resume
+  /// instead of restarting), and changes the run-end predicate to
+  /// "schedule exhausted and every live node holds the image".
+  scenario::Scenario scenario;
 
   /// Convenience: size the program as N MNP segments.
   void set_program_segments(std::uint16_t segments) {

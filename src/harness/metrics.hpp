@@ -4,6 +4,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -52,6 +53,15 @@ struct RunResult {
   std::uint64_t collisions = 0;
   /// Concurrent bulk-sender overlaps (the sender-selection invariant).
   std::uint64_t bulk_overlaps = 0;
+
+  // --- scenario outcomes (zero on fault-free runs) ---------------------
+  /// Nodes still dead when the run ended.
+  std::size_t dead_nodes = 0;
+  /// World mutations the scenario engine injected.
+  std::uint64_t scenario_injected = 0;
+  /// Non-empty when the scenario failed validation; the run is aborted
+  /// before boot and every other field is default.
+  std::string scenario_error;
 
   // --- aggregates -----------------------------------------------------
   double avg_active_radio_s() const;

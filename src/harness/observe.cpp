@@ -66,6 +66,13 @@ void write_config(obs::JsonWriter& w, const ExperimentConfig& cfg) {
   w.value(static_cast<std::int64_t>(cfg.max_sim_time));
   w.key("boot_jitter_us");
   w.value(static_cast<std::int64_t>(cfg.boot_jitter));
+  // Schema v2: which fault schedule (if any) shaped this run. The event
+  // count pins the parsed scenario, not just its label.
+  w.key("scenario");
+  w.value(cfg.scenario.empty() ? std::string_view{}
+                               : std::string_view(cfg.scenario.name()));
+  w.key("scenario_events");
+  w.value(static_cast<std::uint64_t>(cfg.scenario.events().size()));
   w.end_object();
 }
 

@@ -119,6 +119,14 @@ struct MnpConfig {
   /// reboot still waits for the external start signal).
   bool estimate_neighborhood_completion = true;
 
+  /// Crash-safe progress journaling (boot::ProgressJournal): every
+  /// completed segment is appended to the EEPROM tail, and start()
+  /// replays the journal so a rebooted node resumes instead of
+  /// re-downloading. Off by default — it adds one EEPROM write per
+  /// segment, which the write-accounting tests pin down exactly; the
+  /// harness enables it whenever a scenario injects churn.
+  bool journal_progress = false;
+
   /// Expected time to push one full segment to a neighborhood.
   sim::Time expected_segment_transfer_time(std::uint16_t packets_per_segment) const {
     return per_packet_time_estimate * packets_per_segment;

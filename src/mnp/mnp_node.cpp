@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "boot/progress_journal.hpp"
 #include "node/stats.hpp"
 #include "util/log.hpp"
 
@@ -59,9 +60,85 @@ void MnpNode::start(node::Node& node) {
     rvd_seg_ = known_segments_;
     node_->stats().on_completed(node_->id(), node_->now());
     enter_advertise(/*reset_interval=*/true);
+  } else if (recover_journal()) {
+    // Rebooted mid-download: the journal restored the received-segment
+    // prefix, so rejoin as a source of what we have (or as a complete
+    // node) instead of starting from scratch.
+    if (has_complete_image()) {
+      node_->stats().on_completed(node_->id(), node_->now());
+    }
+    if (can_advertise()) {
+      adv_seg_ = rvd_seg_;
+      enter_advertise(/*reset_interval=*/true);
+    } else {
+      enter_idle();
+    }
   } else {
     enter_idle();
   }
+}
+
+void MnpNode::journal_segment(std::uint16_t seg) {
+  if (!config_.journal_progress) return;
+  boot::ProgressJournal journal(node_->eeprom());
+  if (!journal.usable(config_.eeprom_base_offset + program_bytes_)) return;
+  journal.append(program_id_, program_bytes_, seg);
+}
+
+bool MnpNode::recover_journal() {
+  if (!config_.journal_progress) return false;
+  boot::ProgressJournal journal(node_->eeprom());
+  auto rec = journal.recover();
+  if (!rec || rec->units.empty()) return false;
+  if (!accepts_program(rec->program_id)) return false;
+  // Geometry is derivable: segment size is a network-wide protocol
+  // constant, so the journaled byte count fixes the segment count.
+  const std::size_t seg_bytes =
+      static_cast<std::size_t>(config_.packets_per_segment) *
+      config_.payload_bytes;
+  program_id_ = rec->program_id;
+  program_bytes_ = rec->program_bytes;
+  known_segments_ =
+      static_cast<std::uint16_t>((rec->program_bytes + seg_bytes - 1) / seg_bytes);
+  // MNP downloads segments strictly in order, so journaled units are the
+  // prefix 1..k; take the longest contiguous run in case of anomalies.
+  std::uint16_t contiguous = 0;
+  for (std::uint16_t unit : rec->units) {
+    if (unit == contiguous + 1) contiguous = unit;
+  }
+  rvd_seg_ = contiguous;
+  return rvd_seg_ > 0;
+}
+
+void MnpNode::reset_for_reboot() {
+  // Everything in RAM dies with the mote. Timers first (including the
+  // request timer cancel_timers() deliberately keeps), then the protocol
+  // state machine and all download/source bookkeeping.
+  request_timer_.cancel();
+  cancel_timers();
+  if (state_ != State::kIdle) {
+    change_state(State::kIdle);
+  }
+  program_id_ = 0;
+  program_bytes_ = 0;
+  known_segments_ = 0;
+  rvd_seg_ = 0;
+  missing_ = util::BigBitmap{};
+  missing_for_seg_ = 0;
+  parent_ = -1;
+  downloading_seg_ = 0;
+  adv_seg_ = 0;
+  req_ctr_ = 0;
+  requesters_.clear();
+  forward_vector_ = util::BigBitmap{};
+  adv_count_ = 0;
+  adv_interval_hi_ = 0;
+  forward_cursor_ = 0;
+  end_download_sent_ = false;
+  fail_count_ = 0;
+  neighborhood_complete_ = false;
+  rebooted_ = false;
+  // battery_level_ is physical, not RAM: it survives the power cycle.
 }
 
 const char* MnpNode::state_cname(State s) {
@@ -644,6 +721,7 @@ void MnpNode::store_data_packet(const net::DataMsg& msg) {
 
 void MnpNode::complete_current_segment() {
   rvd_seg_ = downloading_seg_;
+  journal_segment(rvd_seg_);
   node_->stats().on_segment_completed(node_->id(), rvd_seg_, node_->now());
   if (has_complete_image()) {
     node_->stats().on_completed(node_->id(), node_->now());

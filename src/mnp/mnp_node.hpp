@@ -66,6 +66,10 @@ class MnpNode final : public node::Application {
   bool has_complete_image() const override {
     return known_segments_ > 0 && rvd_seg_ == known_segments_;
   }
+  /// Power cycle: cancels every pending timer and wipes volatile protocol
+  /// state; the next start() replays the progress journal (if enabled)
+  /// from the surviving EEPROM.
+  void reset_for_reboot() override;
 
   // --- introspection (tests, benches) ------------------------------------
   State state() const { return state_; }
@@ -145,6 +149,13 @@ class MnpNode final : public node::Application {
   std::size_t payload_len(std::uint16_t seg, std::uint16_t pkt) const;
   std::size_t eeprom_offset(std::uint16_t seg, std::uint16_t pkt) const;
   void ensure_missing_vector(std::uint16_t seg);
+  /// Journals one completed segment (no-op unless config_.journal_progress
+  /// and the journal region clears the image).
+  void journal_segment(std::uint16_t seg);
+  /// Replays the journal at boot: restores program geometry and the
+  /// contiguous received-segment prefix. Returns true if progress was
+  /// recovered.
+  bool recover_journal();
   sim::Time segment_transfer_estimate() const;
   /// True if (their_req_ctr, their_id) beats (my req_ctr, my id).
   bool loses_to(std::uint8_t their_req_ctr, net::NodeId their_id) const;

@@ -45,6 +45,18 @@ sim::Time Channel::airtime(const Packet& pkt) const {
 }
 
 const Channel::ScaleCache& Channel::cache_for(double power_scale) const {
+  // Staleness check: a scenario may have moved a node or flipped a link
+  // window since these sets were built. Rebuild lazily from the current
+  // world rather than hand out stale reach bitsets.
+  if (topo_.version() != cache_topo_version_ ||
+      links_.revision() != cache_links_revision_) {
+    if (!scales_.empty()) {
+      scales_.clear();
+      ++cache_invalidations_;
+    }
+    cache_topo_version_ = topo_.version();
+    cache_links_revision_ = links_.revision();
+  }
   for (const auto& c : scales_) {
     if (c->power_scale == power_scale) return *c;
   }

@@ -116,6 +116,9 @@ class Channel {
   std::uint64_t concurrent_bulk_overlaps() const { return bulk_overlaps_; }
   /// Distinct power scales whose neighbor sets have been materialized.
   std::size_t cached_power_scales() const { return scales_.size(); }
+  /// Times the neighbor caches were discarded because the world changed
+  /// under them (topology move or link-model revision bump).
+  std::uint64_t cache_invalidations() const { return cache_invalidations_; }
 
  private:
   struct Active {
@@ -169,6 +172,12 @@ class Channel {
   // Lazily built, small (one entry per distinct power scale seen); mutable
   // so the const query paths can materialize a scale on first use.
   mutable std::vector<std::unique_ptr<ScaleCache>> scales_;
+  // World epoch the caches were built at: any topology move or link-model
+  // revision bump makes every cached neighbor set stale — mobility must
+  // never silently use old reach bitsets.
+  mutable std::uint64_t cache_topo_version_ = 0;
+  mutable std::uint64_t cache_links_revision_ = 0;
+  mutable std::uint64_t cache_invalidations_ = 0;
   ChannelObserver* observer_ = nullptr;
 
   obs::MetricsRegistry* metrics_ = nullptr;

@@ -31,6 +31,13 @@ class LinkModel {
   /// sense / interference threshold at `dst`. Interference reaches farther
   /// than reliable decoding — that gap is what creates hidden terminals.
   virtual bool interferes(NodeId src, NodeId dst, double power_scale) const = 0;
+
+  /// Monotone revision counter: bumped whenever the model's answers may
+  /// have changed for reasons other than a topology move (e.g. a scenario
+  /// decorator opening a partition window). Static models return 0; the
+  /// Channel compares this against the value its neighbor caches were
+  /// built at and rebuilds on mismatch.
+  virtual std::uint64_t revision() const { return 0; }
 };
 
 /// Ideal unit-disk: perfect delivery within `range_ft`, nothing beyond.

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -41,6 +42,18 @@ class Topology {
 
   void add(Position p) { positions_.push_back(p); }
 
+  /// Moves a node (scenario mobility). Bumps version() so consumers that
+  /// cache anything derived from positions — notably the Channel's
+  /// per-power-scale adjacency — can detect staleness and rebuild.
+  void set_position(NodeId id, Position p) {
+    positions_.at(id) = p;
+    ++version_;
+  }
+
+  /// Monotone counter incremented on every position mutation. A topology
+  /// that has never moved reports 0.
+  std::uint64_t version() const { return version_; }
+
   /// Grid helpers (only meaningful for grid-built topologies).
   std::size_t grid_rows() const { return rows_; }
   std::size_t grid_cols() const { return cols_; }
@@ -49,6 +62,7 @@ class Topology {
 
  private:
   std::vector<Position> positions_;
+  std::uint64_t version_ = 0;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   double spacing_ = 0.0;

@@ -24,6 +24,13 @@ class Application {
   /// True once this application holds the complete, verified program
   /// image (used by harnesses to decide when dissemination finished).
   virtual bool has_complete_image() const = 0;
+
+  /// Called by Node::reboot() before start() runs again: drop every piece
+  /// of volatile state (pending timers, caches, the protocol state
+  /// machine) as a power cycle would. EEPROM contents survive — protocols
+  /// that journal progress there recover it in start(). The default is a
+  /// no-op for applications without timers or state.
+  virtual void reset_for_reboot() {}
 };
 
 }  // namespace mnp::node

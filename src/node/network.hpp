@@ -33,6 +33,12 @@ class Network {
   const Node& node(net::NodeId id) const { return *nodes_.at(id); }
 
   const net::Topology& topology() const { return topology_; }
+  /// Scenario mobility hook: moves one node. Topology::version() bumps,
+  /// so the channel's cached adjacency rebuilds on its next query instead
+  /// of silently keeping stale reach bitsets.
+  void move_node(net::NodeId id, net::Position p) {
+    topology_.set_position(id, p);
+  }
   net::Channel& channel() { return channel_; }
   StatsCollector& stats() { return stats_; }
   const StatsCollector& stats() const { return stats_; }

@@ -49,6 +49,17 @@ void Node::kill() {
   radio_.turn_off();
 }
 
+void Node::reboot() {
+  if (!dead_) return;
+  dead_ = false;
+  // RAM is gone; flash is not. The application wipes its volatile state
+  // (cancelling any timers still pending from before the crash), then
+  // start() runs the normal cold-boot path and may recover journaled
+  // progress from the surviving EEPROM.
+  if (app_) app_->reset_for_reboot();
+  boot();
+}
+
 void Node::radio_off() {
   // Anything still queued was meaningful only in the state we are leaving.
   mac_->flush();

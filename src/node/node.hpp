@@ -73,6 +73,12 @@ class Node {
   void kill();
   bool is_dead() const { return dead_; }
 
+  /// Power-cycles a dead mote: volatile application state is discarded
+  /// (Application::reset_for_reboot), EEPROM survives, and the node boots
+  /// again — the paper's "failed nodes rejoin and resume" path. No-op on
+  /// a live node.
+  void reboot();
+
   net::Mac& mac() { return *mac_; }
   net::Radio& radio() { return radio_; }
   storage::Eeprom& eeprom() { return eeprom_; }

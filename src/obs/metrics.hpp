@@ -29,7 +29,10 @@ namespace mnp::obs {
 /// Version of the telemetry contract (metric names/units, manifest layout,
 /// trace track layout). Bump on any breaking change; both JSON outputs
 /// carry it as "schema_version". Documented in DESIGN.md section 9.
-inline constexpr int kTelemetrySchemaVersion = 1;
+/// v2: scenario fault track (virtual "scenario" process after the
+/// "network" process), Scenario events, scenario.* counters, xnp.*
+/// metrics, and the manifest's "scenario" config keys.
+inline constexpr int kTelemetrySchemaVersion = 2;
 
 enum class Unit : std::uint8_t {
   kCount,

@@ -155,6 +155,17 @@ std::string chrome_trace_json(const trace::EventLog& log,
       ev.metadata("process_name", s.pid, 0, s.process);
     }
   }
+  // The scenario fault track exists only in runs that injected faults, so
+  // scenario-free traces keep their exact layout.
+  const auto scenario_pid = static_cast<std::uint32_t>(node_count + 1);
+  const bool any_scenario =
+      std::any_of(events.begin(), events.end(), [](const trace::Event& e) {
+        return e.kind == trace::EventKind::kScenario;
+      });
+  if (any_scenario) {
+    ev.metadata("process_name", scenario_pid, 0, "scenario");
+    ev.metadata("thread_name", scenario_pid, 0, "faults");
+  }
 
   // --- per-node open-slice tracking -------------------------------------
   // The initial protocol state opens at t=0 (nodes are idle from power-on;
@@ -168,8 +179,43 @@ std::string chrome_trace_json(const trace::EventLog& log,
   // the source's most recent transmission.
   std::vector<std::uint64_t> last_flow(node_count, 0);
   std::uint64_t flow_seq = 0;
+  // Scenario windows open on a "... on" detail and close on the matching
+  // "... off"; keyed by the detail prefix so overlapping distinct windows
+  // (a partition inside a degrade window) pair up independently.
+  std::vector<std::pair<std::string, sim::Time>> scenario_open;
 
   for (const auto& e : events) {
+    if (e.kind == trace::EventKind::kScenario) {
+      constexpr std::string_view kOn = " on";
+      constexpr std::string_view kOff = " off";
+      const std::string_view d = e.detail;
+      if (d.size() > kOn.size() &&
+          d.substr(d.size() - kOn.size()) == kOn) {
+        scenario_open.emplace_back(d.substr(0, d.size() - kOn.size()),
+                                   e.time);
+      } else if (d.size() > kOff.size() &&
+                 d.substr(d.size() - kOff.size()) == kOff) {
+        const std::string_view key = d.substr(0, d.size() - kOff.size());
+        bool matched = false;
+        for (auto it = scenario_open.rbegin(); it != scenario_open.rend();
+             ++it) {
+          if (it->first == key) {
+            ev.slice(key, "scenario", scenario_pid, 0, it->second,
+                     e.time - it->second);
+            scenario_open.erase(std::next(it).base());
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) ev.instant(d, scenario_pid, 0, e.time);
+      } else {
+        ev.instant(d, scenario_pid, 0, e.time);
+      }
+      if (e.node < node_count && options.instants) {
+        ev.instant(d, static_cast<std::uint32_t>(e.node), kStateTid, e.time);
+      }
+      continue;
+    }
     if (e.node >= node_count) continue;
     const auto pid = static_cast<std::uint32_t>(e.node);
     switch (e.kind) {
@@ -230,7 +276,14 @@ std::string chrome_trace_json(const trace::EventLog& log,
           ev.instant(e.detail, pid, kStateTid, e.time);
         }
         break;
+      case trace::EventKind::kScenario:
+        break;  // handled above, before the node filter
     }
+  }
+
+  // A window still open at the end of the run renders to the last event.
+  for (const auto& [key, since] : scenario_open) {
+    ev.slice(key, "scenario", scenario_pid, 0, since, end_ts - since);
   }
 
   // Close every slice still open so the final residency is visible.

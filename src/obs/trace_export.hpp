@@ -11,7 +11,12 @@
 //   * tid 2 "msgs":   1 us marker slices per packet sent/received, with
 //     flow arrows connecting each transmission to its deliveries,
 //   * counter tracks (ph "C"), e.g. per-node cumulative energy and the
-//     per-minute message-class rates, appended by the harness.
+//     per-minute message-class rates, appended by the harness,
+//   * a virtual "scenario" process (pid = node_count + 1, only present
+//     when the run injected faults): Scenario events render there —
+//     "... on"/"... off" pairs as window slices (partitions, degrade
+//     windows), everything else as instant markers; node-scoped events
+//     additionally mark the affected node's state track.
 //
 // The export is a pure function of the log plus the supplied counter
 // series: identical runs produce byte-identical files, which is what the

@@ -1,0 +1,135 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mnp::scenario {
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kKill: return "kill";
+    case EventKind::kReboot: return "reboot";
+    case EventKind::kCrashFraction: return "crash-fraction";
+    case EventKind::kBatteryBudget: return "battery";
+    case EventKind::kPartition: return "partition";
+    case EventKind::kDegrade: return "degrade";
+    case EventKind::kMove: return "move";
+  }
+  return "?";
+}
+
+Scenario::Scenario(std::string name, std::vector<ScenarioEvent> events)
+    : name_(std::move(name)), events_(std::move(events)) {
+  std::stable_sort(
+      events_.begin(), events_.end(),
+      [](const ScenarioEvent& a, const ScenarioEvent& b) { return a.at < b.at; });
+}
+
+sim::Time Scenario::last_event_time() const {
+  sim::Time last = 0;
+  for (const auto& e : events_) {
+    sim::Time end = e.at;
+    switch (e.kind) {
+      case EventKind::kKill:
+      case EventKind::kCrashFraction:
+        if (e.duration > 0) end += e.duration;  // reboot instant
+        break;
+      case EventKind::kPartition:
+      case EventKind::kDegrade:
+      case EventKind::kMove:
+        end += e.duration;
+        break;
+      case EventKind::kReboot:
+      case EventKind::kBatteryBudget:
+        break;
+    }
+    last = std::max(last, end);
+  }
+  return last;
+}
+
+ScenarioBuilder& ScenarioBuilder::kill(sim::Time at, net::NodeId node,
+                                       sim::Time down_for) {
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = EventKind::kKill;
+  e.node = node;
+  e.duration = down_for;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::reboot(sim::Time at, net::NodeId node) {
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = EventKind::kReboot;
+  e.node = node;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::crash_fraction(sim::Time at, double fraction,
+                                                 sim::Time down_for) {
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = EventKind::kCrashFraction;
+  e.value = fraction;
+  e.duration = down_for;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::battery_budget(sim::Time at, net::NodeId node,
+                                                 double budget_nah) {
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = EventKind::kBatteryBudget;
+  e.node = node;
+  e.value = budget_nah;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::partition(
+    sim::Time at, sim::Time duration,
+    std::vector<std::vector<net::NodeId>> groups) {
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = EventKind::kPartition;
+  e.duration = duration;
+  e.groups = std::move(groups);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::degrade(sim::Time at, sim::Time duration,
+                                          double factor,
+                                          std::vector<net::NodeId> nodes) {
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = EventKind::kDegrade;
+  e.duration = duration;
+  e.value = factor;
+  e.nodes = std::move(nodes);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+ScenarioBuilder& ScenarioBuilder::move(sim::Time at, net::NodeId node, double x,
+                                       double y, sim::Time over) {
+  ScenarioEvent e;
+  e.at = at;
+  e.kind = EventKind::kMove;
+  e.node = node;
+  e.x = x;
+  e.y = y;
+  e.duration = over;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+Scenario ScenarioBuilder::build(std::string name) {
+  return Scenario(std::move(name), std::move(events_));
+}
+
+}  // namespace mnp::scenario

@@ -1,0 +1,116 @@
+// Scenario: a declarative, seeded schedule of world mutations applied to a
+// running simulation — the fault-injection layer the paper's robustness
+// claims ("failed nodes rejoin and resume", section 6) are exercised
+// against. A Scenario is pure data: a name plus a time-sorted list of
+// events. It lives inside ExperimentConfig, so the determinism contract is
+// unchanged — (seed, config-including-scenario) fixes every trace byte,
+// and parallel sweeps replay it bit-identically per seed.
+//
+// Event kinds:
+//   * kKill           one node loses power; optional reboot after `duration`
+//   * kReboot         power-cycle a dead node explicitly
+//   * kCrashFraction  kill floor(value * N) random non-base live nodes,
+//                     chosen from the scenario's own forked RNG stream;
+//                     optional reboot after `duration`
+//   * kBatteryBudget  from `at` on, the node dies permanently once its
+//                     energy meter's cumulative draw exceeds `value` nAh
+//   * kPartition      for `duration`, nodes in different groups cannot
+//                     communicate (ScenarioLinkModel zeroes cross-group
+//                     links; unlisted nodes form their own implicit group)
+//   * kDegrade        for `duration`, listed nodes' link success is
+//                     multiplied by `value` (empty list = every node)
+//   * kMove           waypoint mobility: the node glides to (x, y) over
+//                     `duration`, interpolated in 1 s steps; each step
+//                     bumps Topology::version() so cached adjacency
+//                     rebuilds
+//
+// Build one fluently (ScenarioBuilder) or parse the text format
+// (scenario_parser.hpp) loadable via `--scenario` on mnp_sim_cli/run_sweep.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace mnp::scenario {
+
+enum class EventKind : std::uint8_t {
+  kKill,
+  kReboot,
+  kCrashFraction,
+  kBatteryBudget,
+  kPartition,
+  kDegrade,
+  kMove,
+};
+
+const char* to_string(EventKind kind);
+
+struct ScenarioEvent {
+  sim::Time at = 0;
+  EventKind kind = EventKind::kKill;
+  /// Target for kKill/kReboot/kBatteryBudget/kMove.
+  net::NodeId node = net::kNoNode;
+  /// kCrashFraction: fraction in (0, 1]; kBatteryBudget: nAh;
+  /// kDegrade: success multiplier in [0, 1].
+  double value = 0.0;
+  /// kKill/kCrashFraction: downtime before reboot (0 = stay dead);
+  /// kPartition/kDegrade: window length; kMove: travel time.
+  sim::Time duration = 0;
+  /// kMove destination (feet).
+  double x = 0.0;
+  double y = 0.0;
+  /// kPartition: the isolation groups.
+  std::vector<std::vector<net::NodeId>> groups;
+  /// kDegrade: affected nodes (empty = all).
+  std::vector<net::NodeId> nodes;
+};
+
+class Scenario {
+ public:
+  Scenario() = default;
+  Scenario(std::string name, std::vector<ScenarioEvent> events);
+
+  const std::string& name() const { return name_; }
+  bool empty() const { return events_.empty(); }
+  const std::vector<ScenarioEvent>& events() const { return events_; }
+
+  /// Latest instant the schedule itself can still mutate the world: the
+  /// max over event times plus their window/downtime/travel durations.
+  /// Battery budgets are open-ended and excluded. 0 when empty.
+  sim::Time last_event_time() const;
+
+ private:
+  std::string name_;
+  // Stable-sorted by `at` at construction; same-time events keep their
+  // authored order (which is also their injection order at runtime).
+  std::vector<ScenarioEvent> events_;
+};
+
+/// Fluent construction; every method appends one event and returns *this.
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder& kill(sim::Time at, net::NodeId node,
+                        sim::Time down_for = 0);
+  ScenarioBuilder& reboot(sim::Time at, net::NodeId node);
+  ScenarioBuilder& crash_fraction(sim::Time at, double fraction,
+                                  sim::Time down_for = 0);
+  ScenarioBuilder& battery_budget(sim::Time at, net::NodeId node,
+                                  double budget_nah);
+  ScenarioBuilder& partition(sim::Time at, sim::Time duration,
+                             std::vector<std::vector<net::NodeId>> groups);
+  ScenarioBuilder& degrade(sim::Time at, sim::Time duration, double factor,
+                           std::vector<net::NodeId> nodes = {});
+  ScenarioBuilder& move(sim::Time at, net::NodeId node, double x, double y,
+                        sim::Time over = 0);
+
+  /// Consumes the accumulated events (the builder is empty afterwards).
+  Scenario build(std::string name = "scenario");
+
+ private:
+  std::vector<ScenarioEvent> events_;
+};
+
+}  // namespace mnp::scenario

@@ -1,0 +1,80 @@
+#include "scenario/scenario_link_model.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace mnp::scenario {
+
+ScenarioLinkModel::ScenarioLinkModel(std::unique_ptr<net::LinkModel> inner,
+                                     std::size_t node_count)
+    : inner_(std::move(inner)),
+      group_(node_count, -1),
+      factor_(node_count, 1.0) {}
+
+double ScenarioLinkModel::packet_success(net::NodeId src, net::NodeId dst,
+                                         double power_scale) const {
+  if (severed(src, dst)) return 0.0;
+  double p = inner_->packet_success(src, dst, power_scale);
+  if (src < factor_.size()) p *= factor_[src];
+  if (dst < factor_.size()) p *= factor_[dst];
+  return p;
+}
+
+bool ScenarioLinkModel::interferes(net::NodeId src, net::NodeId dst,
+                                   double power_scale) const {
+  if (severed(src, dst)) return false;
+  return inner_->interferes(src, dst, power_scale);
+}
+
+void ScenarioLinkModel::set_partition(
+    const std::vector<std::vector<net::NodeId>>& groups) {
+  std::fill(group_.begin(), group_.end(), -1);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    for (const net::NodeId id : groups[g]) {
+      if (id < group_.size()) group_[id] = static_cast<int>(g);
+    }
+  }
+  partition_active_ = true;
+  ++revision_;
+}
+
+void ScenarioLinkModel::clear_partition() {
+  partition_active_ = false;
+  ++revision_;
+}
+
+void ScenarioLinkModel::begin_degrade(double factor,
+                                      const std::vector<net::NodeId>& nodes) {
+  if (nodes.empty()) {
+    for (double& f : factor_) f *= factor;
+  } else {
+    for (const net::NodeId id : nodes) {
+      if (id < factor_.size()) factor_[id] *= factor;
+    }
+  }
+  ++revision_;
+}
+
+void ScenarioLinkModel::end_degrade(double factor,
+                                    const std::vector<net::NodeId>& nodes) {
+  if (factor <= 0.0) {
+    // A zero window has no finite inverse; restore the affected nodes to
+    // nominal instead (the only state a 0-factor window can leave behind).
+    if (nodes.empty()) {
+      std::fill(factor_.begin(), factor_.end(), 1.0);
+    } else {
+      for (const net::NodeId id : nodes) {
+        if (id < factor_.size()) factor_[id] = 1.0;
+      }
+    }
+  } else if (nodes.empty()) {
+    for (double& f : factor_) f /= factor;
+  } else {
+    for (const net::NodeId id : nodes) {
+      if (id < factor_.size()) factor_[id] /= factor;
+    }
+  }
+  ++revision_;
+}
+
+}  // namespace mnp::scenario

@@ -1,0 +1,56 @@
+// ScenarioLinkModel: a LinkModel decorator the scenario engine mutates at
+// runtime — hard partitions (cross-group links zeroed, no interference
+// either: the groups are radio-disjoint) and degrade windows (per-node
+// success multipliers). Every mutation bumps revision(), which the
+// Channel compares against the revision its per-power-scale neighbor
+// caches were built at, so cached adjacency can never leak across a fault
+// boundary. In-flight transmissions are unaffected (the Channel snapshots
+// candidates at transmission start — physically, a wave already launched).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/link_model.hpp"
+
+namespace mnp::scenario {
+
+class ScenarioLinkModel final : public net::LinkModel {
+ public:
+  ScenarioLinkModel(std::unique_ptr<net::LinkModel> inner,
+                    std::size_t node_count);
+
+  double packet_success(net::NodeId src, net::NodeId dst,
+                        double power_scale) const override;
+  bool interferes(net::NodeId src, net::NodeId dst,
+                  double power_scale) const override;
+  std::uint64_t revision() const override { return revision_; }
+
+  /// Nodes in different groups cannot reach each other at all. Nodes in
+  /// no listed group share one implicit extra group (they keep talking to
+  /// each other, but to nobody listed). Replaces any active partition.
+  void set_partition(const std::vector<std::vector<net::NodeId>>& groups);
+  void clear_partition();
+  bool partition_active() const { return partition_active_; }
+
+  /// Multiplies the per-node success factor for `nodes` (all nodes when
+  /// empty) by `factor`; end_degrade with the same arguments undoes it.
+  /// A link's success is scaled by both endpoints' factors.
+  void begin_degrade(double factor, const std::vector<net::NodeId>& nodes);
+  void end_degrade(double factor, const std::vector<net::NodeId>& nodes);
+
+ private:
+  bool severed(net::NodeId src, net::NodeId dst) const {
+    return partition_active_ && src < group_.size() && dst < group_.size() &&
+           group_[src] != group_[dst];
+  }
+
+  std::unique_ptr<net::LinkModel> inner_;
+  bool partition_active_ = false;
+  std::vector<int> group_;      // node -> group id; -1 = implicit group
+  std::vector<double> factor_;  // per-node success multiplier
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace mnp::scenario

@@ -1,0 +1,386 @@
+#include "scenario/scenario_parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace mnp::scenario {
+
+namespace {
+
+/// Whitespace-separated tokens of one line (after stripping comments).
+std::vector<std::string_view> tokenize(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    std::size_t start = i;
+    while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i > start) out.push_back(line.substr(start, i - start));
+  }
+  return out;
+}
+
+bool parse_double(std::string_view tok, double* out) {
+  const char* begin = tok.data();
+  const char* end = begin + tok.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+/// "90s" / "2min" / "1.5h" -> microseconds. False on a bad number or an
+/// unknown suffix (a bare number is rejected: units are mandatory).
+bool parse_time(std::string_view tok, sim::Time* out) {
+  std::size_t digits = 0;
+  while (digits < tok.size() &&
+         (std::isdigit(static_cast<unsigned char>(tok[digits])) ||
+          tok[digits] == '.')) {
+    ++digits;
+  }
+  if (digits == 0 || digits == tok.size()) return false;
+  double value = 0.0;
+  if (!parse_double(tok.substr(0, digits), &value)) return false;
+  const std::string_view suffix = tok.substr(digits);
+  double scale = 0.0;
+  if (suffix == "us") scale = 1.0;
+  else if (suffix == "ms") scale = 1e3;
+  else if (suffix == "s") scale = 1e6;
+  else if (suffix == "min") scale = 60e6;
+  else if (suffix == "h") scale = 3600e6;
+  else return false;
+  *out = static_cast<sim::Time>(std::llround(value * scale));
+  return *out >= 0;
+}
+
+bool parse_node(std::string_view tok, net::NodeId* out) {
+  std::uint32_t v = 0;
+  const char* begin = tok.data();
+  const char* end = begin + tok.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end || v >= net::kNoNode) return false;
+  *out = static_cast<net::NodeId>(v);
+  return true;
+}
+
+/// "0-4,10,12-14" -> expanded id list (ranges inclusive, order preserved).
+bool parse_node_list(std::string_view tok, std::vector<net::NodeId>* out) {
+  std::size_t pos = 0;
+  while (pos < tok.size()) {
+    std::size_t comma = tok.find(',', pos);
+    if (comma == std::string_view::npos) comma = tok.size();
+    const std::string_view item = tok.substr(pos, comma - pos);
+    if (item.empty()) return false;
+    const std::size_t dash = item.find('-');
+    if (dash == std::string_view::npos) {
+      net::NodeId id;
+      if (!parse_node(item, &id)) return false;
+      out->push_back(id);
+    } else {
+      net::NodeId lo, hi;
+      if (!parse_node(item.substr(0, dash), &lo) ||
+          !parse_node(item.substr(dash + 1), &hi) || lo > hi) {
+        return false;
+      }
+      for (std::uint32_t id = lo; id <= hi; ++id) {
+        out->push_back(static_cast<net::NodeId>(id));
+      }
+    }
+    pos = comma + 1;
+  }
+  return !out->empty();
+}
+
+std::string error_at(std::size_t line_no, std::string_view message) {
+  std::ostringstream os;
+  os << "line " << line_no << ": " << message;
+  return os.str();
+}
+
+}  // namespace
+
+ParseResult parse_scenario_text(std::string_view text) {
+  ParseResult result;
+  std::string name = "scenario";
+  std::vector<ScenarioEvent> events;
+
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+
+    const std::size_t hash = line.find('#');
+    if (hash != std::string_view::npos) line = line.substr(0, hash);
+    const auto tok = tokenize(line);
+    if (tok.empty()) continue;
+
+    if (tok[0] == "scenario") {
+      if (tok.size() != 2) {
+        result.error = error_at(line_no, "expected: scenario NAME");
+        return result;
+      }
+      name.assign(tok[1]);
+      continue;
+    }
+    if (tok[0] != "at" || tok.size() < 3) {
+      result.error = error_at(line_no, "expected: at TIME VERB ...");
+      return result;
+    }
+    ScenarioEvent e;
+    if (!parse_time(tok[1], &e.at)) {
+      result.error = error_at(line_no, "bad time (want e.g. 90s, 2min)");
+      return result;
+    }
+    const std::string_view verb = tok[2];
+
+    if (verb == "kill" || verb == "reboot" || verb == "battery") {
+      std::vector<net::NodeId> ids;
+      if (tok.size() < 4 || !parse_node_list(tok[3], &ids)) {
+        result.error = error_at(line_no, "bad node list");
+        return result;
+      }
+      sim::Time down = 0;
+      double budget = 0.0;
+      if (verb == "kill") {
+        e.kind = EventKind::kKill;
+        if (tok.size() == 6 && tok[4] == "down") {
+          if (!parse_time(tok[5], &down)) {
+            result.error = error_at(line_no, "bad downtime");
+            return result;
+          }
+        } else if (tok.size() != 4) {
+          result.error = error_at(line_no, "expected: kill NODES [down TIME]");
+          return result;
+        }
+      } else if (verb == "reboot") {
+        e.kind = EventKind::kReboot;
+        if (tok.size() != 4) {
+          result.error = error_at(line_no, "expected: reboot NODES");
+          return result;
+        }
+      } else {
+        e.kind = EventKind::kBatteryBudget;
+        if (tok.size() != 6 || tok[4] != "budget" ||
+            !parse_double(tok[5], &budget) || budget <= 0.0) {
+          result.error = error_at(line_no, "expected: battery NODES budget NAH");
+          return result;
+        }
+      }
+      for (const net::NodeId id : ids) {
+        ScenarioEvent per = e;
+        per.node = id;
+        per.duration = down;
+        per.value = budget;
+        events.push_back(std::move(per));
+      }
+      continue;
+    }
+
+    if (verb == "crash-fraction") {
+      e.kind = EventKind::kCrashFraction;
+      if (tok.size() < 4 || !parse_double(tok[3], &e.value) ||
+          e.value <= 0.0 || e.value > 1.0) {
+        result.error = error_at(line_no, "bad fraction (want (0, 1])");
+        return result;
+      }
+      if (tok.size() == 6 && tok[4] == "down") {
+        if (!parse_time(tok[5], &e.duration)) {
+          result.error = error_at(line_no, "bad downtime");
+          return result;
+        }
+      } else if (tok.size() != 4) {
+        result.error =
+            error_at(line_no, "expected: crash-fraction F [down TIME]");
+        return result;
+      }
+      events.push_back(std::move(e));
+      continue;
+    }
+
+    if (verb == "partition") {
+      e.kind = EventKind::kPartition;
+      if (tok.size() != 6 || !parse_time(tok[3], &e.duration) ||
+          tok[4] != "groups") {
+        result.error =
+            error_at(line_no, "expected: partition TIME groups A|B[|C...]");
+        return result;
+      }
+      std::string_view spec = tok[5];
+      std::size_t gpos = 0;
+      while (gpos <= spec.size()) {
+        std::size_t bar = spec.find('|', gpos);
+        if (bar == std::string_view::npos) bar = spec.size();
+        std::vector<net::NodeId> group;
+        if (!parse_node_list(spec.substr(gpos, bar - gpos), &group)) {
+          result.error = error_at(line_no, "bad partition group");
+          return result;
+        }
+        e.groups.push_back(std::move(group));
+        gpos = bar + 1;
+      }
+      if (e.groups.size() < 2) {
+        result.error = error_at(line_no, "partition needs at least 2 groups");
+        return result;
+      }
+      events.push_back(std::move(e));
+      continue;
+    }
+
+    if (verb == "degrade") {
+      e.kind = EventKind::kDegrade;
+      if (tok.size() < 6 || !parse_double(tok[3], &e.value) || e.value < 0.0 ||
+          e.value > 1.0 || tok[4] != "for" || !parse_time(tok[5], &e.duration)) {
+        result.error = error_at(
+            line_no, "expected: degrade F for TIME [nodes NODES]");
+        return result;
+      }
+      if (tok.size() == 8 && tok[6] == "nodes") {
+        if (!parse_node_list(tok[7], &e.nodes)) {
+          result.error = error_at(line_no, "bad node list");
+          return result;
+        }
+      } else if (tok.size() != 6) {
+        result.error = error_at(
+            line_no, "expected: degrade F for TIME [nodes NODES]");
+        return result;
+      }
+      events.push_back(std::move(e));
+      continue;
+    }
+
+    if (verb == "move") {
+      e.kind = EventKind::kMove;
+      if (tok.size() < 7 || !parse_node(tok[3], &e.node) || tok[4] != "to" ||
+          !parse_double(tok[5], &e.x) || !parse_double(tok[6], &e.y)) {
+        result.error =
+            error_at(line_no, "expected: move NODE to X Y [over TIME]");
+        return result;
+      }
+      if (tok.size() == 9 && tok[7] == "over") {
+        if (!parse_time(tok[8], &e.duration)) {
+          result.error = error_at(line_no, "bad travel time");
+          return result;
+        }
+      } else if (tok.size() != 7) {
+        result.error =
+            error_at(line_no, "expected: move NODE to X Y [over TIME]");
+        return result;
+      }
+      events.push_back(std::move(e));
+      continue;
+    }
+
+    result.error = error_at(line_no, "unknown verb '" + std::string(verb) + "'");
+    return result;
+  }
+
+  result.ok = true;
+  result.scenario = Scenario(std::move(name), std::move(events));
+  return result;
+}
+
+ParseResult load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    ParseResult result;
+    result.error = "cannot open scenario file: " + path;
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_scenario_text(buf.str());
+}
+
+std::string format_time(sim::Time t) {
+  std::ostringstream os;
+  if (t > 0 && t % sim::hours(1) == 0) os << t / sim::hours(1) << "h";
+  else if (t > 0 && t % sim::minutes(1) == 0) os << t / sim::minutes(1) << "min";
+  else if (t > 0 && t % sim::sec(1) == 0) os << t / sim::sec(1) << "s";
+  else if (t > 0 && t % sim::msec(1) == 0) os << t / sim::msec(1) << "ms";
+  else os << t << "us";
+  return os.str();
+}
+
+namespace {
+
+/// Re-compresses an expanded id list into "0-4,10" range syntax.
+void write_node_list(std::ostringstream& os, const std::vector<net::NodeId>& ids) {
+  for (std::size_t i = 0; i < ids.size();) {
+    std::size_t j = i;
+    while (j + 1 < ids.size() && ids[j + 1] == ids[j] + 1) ++j;
+    if (i > 0) os << ",";
+    if (j > i) os << ids[i] << "-" << ids[j];
+    else os << ids[i];
+    i = j + 1;
+  }
+}
+
+/// Fixed-format double: trims trailing zeros so 0.2 stays "0.2".
+void write_double(std::ostringstream& os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(10);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+std::string to_text(const Scenario& scenario) {
+  std::ostringstream os;
+  os << "scenario " << scenario.name() << "\n";
+  for (const auto& e : scenario.events()) {
+    os << "at " << format_time(e.at) << " ";
+    switch (e.kind) {
+      case EventKind::kKill:
+        os << "kill " << e.node;
+        if (e.duration > 0) os << " down " << format_time(e.duration);
+        break;
+      case EventKind::kReboot:
+        os << "reboot " << e.node;
+        break;
+      case EventKind::kCrashFraction:
+        os << "crash-fraction ";
+        write_double(os, e.value);
+        if (e.duration > 0) os << " down " << format_time(e.duration);
+        break;
+      case EventKind::kBatteryBudget:
+        os << "battery " << e.node << " budget ";
+        write_double(os, e.value);
+        break;
+      case EventKind::kPartition:
+        os << "partition " << format_time(e.duration) << " groups ";
+        for (std::size_t g = 0; g < e.groups.size(); ++g) {
+          if (g > 0) os << "|";
+          write_node_list(os, e.groups[g]);
+        }
+        break;
+      case EventKind::kDegrade:
+        os << "degrade ";
+        write_double(os, e.value);
+        os << " for " << format_time(e.duration);
+        if (!e.nodes.empty()) {
+          os << " nodes ";
+          write_node_list(os, e.nodes);
+        }
+        break;
+      case EventKind::kMove:
+        os << "move " << e.node << " to ";
+        write_double(os, e.x);
+        os << " ";
+        write_double(os, e.y);
+        if (e.duration > 0) os << " over " << format_time(e.duration);
+        break;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace mnp::scenario

@@ -1,0 +1,47 @@
+// Text format for scenarios — small enough to write by hand, stable
+// enough to commit next to an experiment (EXPERIMENTS.md recipes point at
+// files under examples/scenarios/). One directive per line:
+//
+//   # comment (blank lines ignored)
+//   scenario NAME
+//   at TIME kill NODES [down TIME]
+//   at TIME reboot NODES
+//   at TIME crash-fraction F [down TIME]
+//   at TIME battery NODES budget NAH
+//   at TIME partition TIME groups NODES|NODES[|NODES...]
+//   at TIME degrade F for TIME [nodes NODES]
+//   at TIME move NODE to X Y [over TIME]
+//
+// TIME is a number with a unit suffix: us, ms, s, min, h ("90s", "2min",
+// "1.5h"). NODES is a comma-separated list of ids and inclusive ranges:
+// "0-4,10,12-14". Errors carry the 1-based line number.
+//
+// to_text() serializes a Scenario back into this format; parse(to_text(s))
+// reproduces s event-for-event (the round-trip the tests pin).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "scenario/scenario.hpp"
+
+namespace mnp::scenario {
+
+struct ParseResult {
+  bool ok = false;
+  Scenario scenario;
+  /// "line N: message" when !ok.
+  std::string error;
+};
+
+ParseResult parse_scenario_text(std::string_view text);
+
+/// Reads the file and parses it; a missing/unreadable file is an error.
+ParseResult load_scenario_file(const std::string& path);
+
+/// "90s" / "2min" / "1500ms" — the largest suffix that divides exactly.
+std::string format_time(sim::Time t);
+
+std::string to_text(const Scenario& scenario);
+
+}  // namespace mnp::scenario

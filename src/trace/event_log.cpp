@@ -16,6 +16,7 @@ const char* to_string(EventKind kind) {
     case EventKind::kSegmentCompleted: return "SegmentCompleted";
     case EventKind::kImageCompleted: return "ImageCompleted";
     case EventKind::kNote: return "Note";
+    case EventKind::kScenario: return "Scenario";
   }
   return "?";
 }

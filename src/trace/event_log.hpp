@@ -31,6 +31,9 @@ enum class EventKind : std::uint8_t {
   kSegmentCompleted,  // detail = segment id
   kImageCompleted,
   kNote,          // free-form protocol notes
+  kScenario,      // injected world mutation: "kill 5", "partition on", ...
+                  // node = the affected node, or kBroadcastId for global
+                  // events; details ending " on"/" off" delimit windows.
 };
 
 const char* to_string(EventKind kind);

@@ -359,5 +359,94 @@ TEST(ChannelNeighborCache, PairwiseQueriesMatchLinkModel) {
   }
 }
 
+// --- cache staleness: world mutations must invalidate ---------------------
+
+TEST_F(ChannelTest, MovingANodeInvalidatesTheNeighborCache) {
+  build(4, 15.0);
+  Packet pkt = adv_packet();
+  pkt.src = 1;
+  radios_[1]->start_transmission(pkt);
+  sim_.run_until(sim::sec(1));
+  ASSERT_EQ(received_[3].size(), 0u);  // 20 ft away at (30, 0)
+  ASSERT_EQ(channel_->cached_power_scales(), 1u);
+  EXPECT_EQ(channel_->cache_invalidations(), 0u);
+
+  // Node 3 walks next door to node 1. Without invalidation, the cached
+  // reach bitset would keep saying 1 cannot reach 3.
+  topo_->set_position(3, {15.0, 0.0});
+  radios_[1]->start_transmission(pkt);
+  sim_.run_until(sim::sec(2));
+  EXPECT_EQ(channel_->cache_invalidations(), 1u);
+  EXPECT_EQ(received_[3].size(), 1u);
+
+  // No further churn: the rebuilt cache sticks.
+  radios_[1]->start_transmission(pkt);
+  sim_.run_until(sim::sec(3));
+  EXPECT_EQ(channel_->cache_invalidations(), 1u);
+  EXPECT_EQ(received_[3].size(), 2u);
+}
+
+// A LinkModel whose answers can be toggled off (a stand-in for the
+// scenario decorator's partition windows), advertised via revision().
+class SwitchableLinkModel final : public LinkModel {
+ public:
+  explicit SwitchableLinkModel(std::unique_ptr<LinkModel> inner)
+      : inner_(std::move(inner)) {}
+
+  double packet_success(NodeId src, NodeId dst, double ps) const override {
+    return severed_ ? 0.0 : inner_->packet_success(src, dst, ps);
+  }
+  bool interferes(NodeId src, NodeId dst, double ps) const override {
+    return severed_ ? false : inner_->interferes(src, dst, ps);
+  }
+  std::uint64_t revision() const override { return revision_; }
+
+  void set_severed(bool severed) {
+    severed_ = severed;
+    ++revision_;
+  }
+
+ private:
+  std::unique_ptr<LinkModel> inner_;
+  bool severed_ = false;
+  std::uint64_t revision_ = 0;
+};
+
+TEST(ChannelLinkRevision, RevisionBumpInvalidatesTheNeighborCache) {
+  sim::Simulator sim(7);
+  Topology topo;
+  topo.add({0.0, 0.0});
+  topo.add({10.0, 0.0});
+  SwitchableLinkModel links(std::make_unique<DiskLinkModel>(topo, 15.0));
+  Channel channel(sim, topo, links);
+  energy::EnergyMeter m0, m1;
+  Radio r0(0, sim.scheduler(), channel, m0);
+  Radio r1(1, sim.scheduler(), channel, m1);
+  channel.register_radio(r0);
+  channel.register_radio(r1);
+  std::size_t heard = 0;
+  r1.set_receive_handler([&heard](const Packet&) { ++heard; });
+  r0.turn_on();
+  r1.turn_on();
+
+  Packet pkt;
+  pkt.payload = AdvertisementMsg{};
+  r0.start_transmission(pkt);
+  sim.run_until(sim::sec(1));
+  ASSERT_EQ(heard, 1u);
+
+  links.set_severed(true);
+  r0.start_transmission(pkt);
+  sim.run_until(sim::sec(2));
+  EXPECT_EQ(heard, 1u);  // the severed link must not deliver
+  EXPECT_EQ(channel.cache_invalidations(), 1u);
+
+  links.set_severed(false);
+  r0.start_transmission(pkt);
+  sim.run_until(sim::sec(3));
+  EXPECT_EQ(heard, 2u);
+  EXPECT_EQ(channel.cache_invalidations(), 2u);
+}
+
 }  // namespace
 }  // namespace mnp::net

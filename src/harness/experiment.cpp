@@ -195,14 +195,29 @@ RunResult run_experiment(const ExperimentConfig& config,
       series.pid = id;
       observation->counters.push_back(std::move(series));
     }
+    // Channel cache-health tracks (row repairs / world invalidations) under
+    // the virtual "network" process: spikes line up with mobility bursts
+    // and partition edges on the same timeline as the protocol events.
+    for (const char* name : {"cache_repairs", "cache_invalidations"}) {
+      obs::CounterSeries series;
+      series.name = name;
+      series.pid = static_cast<std::uint32_t>(network.size());
+      series.process = "network";
+      observation->counters.push_back(std::move(series));
+    }
     node::Network* net_ptr = &network;
     sim::Simulator* sim_ptr = &sim;
     const auto take_sample = [net_ptr, sim_ptr, observation] {
       const sim::Time now = sim_ptr->now();
-      for (net::NodeId id = 0; id < net_ptr->size(); ++id) {
+      const std::size_t n = net_ptr->size();
+      for (net::NodeId id = 0; id < n; ++id) {
         observation->counters[id].samples.emplace_back(
             now, net_ptr->node(id).meter().total_nah(now));
       }
+      observation->counters[n].samples.emplace_back(
+          now, static_cast<double>(net_ptr->channel().cache_repairs()));
+      observation->counters[n + 1].samples.emplace_back(
+          now, static_cast<double>(net_ptr->channel().cache_invalidations()));
     };
     // Bounded so a pathological interval cannot flood the event queue.
     const sim::Time interval = observation->energy_sample_interval;
@@ -234,12 +249,21 @@ RunResult run_experiment(const ExperimentConfig& config,
     m.set(m.register_gauge("run.sim_time_us", obs::Unit::kMicroseconds, false),
           static_cast<double>(sim.now()));
     if (sample_energy) {
-      // Close each energy track at the instant the run ended.
+      // Close each energy/cache track at the instant the run ended.
       const sim::Time now = sim.now();
       for (net::NodeId id = 0; id < network.size(); ++id) {
         auto& samples = observation->counters[id].samples;
         if (samples.empty() || samples.back().first < now) {
           samples.emplace_back(now, network.node(id).meter().total_nah(now));
+        }
+      }
+      const double cache_finals[2] = {
+          static_cast<double>(network.channel().cache_repairs()),
+          static_cast<double>(network.channel().cache_invalidations())};
+      for (std::size_t c = 0; c < 2; ++c) {
+        auto& samples = observation->counters[network.size() + c].samples;
+        if (samples.empty() || samples.back().first < now) {
+          samples.emplace_back(now, cache_finals[c]);
         }
       }
     }

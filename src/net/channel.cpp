@@ -15,6 +15,7 @@ Channel::Channel(sim::Simulator& sim, const Topology& topo,
       params_(params),
       rng_(sim.fork_rng(0xC4A27EFULL)) {
   radios_.resize(topo_.size(), nullptr);
+  listening_.resize(topo_.size(), 0);
   // Copy mode is the honest brute-force reference: no recycling anywhere.
   pool_.set_recycling(params_.zero_copy);
 }
@@ -24,8 +25,12 @@ Channel::Channel(sim::Simulator& sim, const Topology& topo,
     : Channel(sim, topo, links, Params{}) {}
 
 void Channel::register_radio(Radio& radio) {
-  if (radio.id() >= radios_.size()) radios_.resize(radio.id() + 1, nullptr);
+  if (radio.id() >= radios_.size()) {
+    radios_.resize(radio.id() + 1, nullptr);
+    listening_.resize(radio.id() + 1, 0);
+  }
   radios_[radio.id()] = &radio;
+  listening_[radio.id()] = radio.is_listening() ? 1 : 0;
 }
 
 void Channel::attach_metrics(obs::MetricsRegistry& registry) {
@@ -37,6 +42,15 @@ void Channel::attach_metrics(obs::MetricsRegistry& registry) {
       registry.register_counter("chan.collisions", obs::Unit::kCount, true);
   m_bulk_overlaps_ = registry.register_counter("chan.bulk_overlaps",
                                                obs::Unit::kCount, false);
+  m_cache_invalidations_ = registry.register_counter("chan.cache_invalidations",
+                                                     obs::Unit::kCount, false);
+  m_cache_repairs_ =
+      registry.register_counter("chan.cache_repairs", obs::Unit::kCount, false);
+  m_grid_cells_ =
+      registry.register_gauge("chan.grid_cells", obs::Unit::kCount, false);
+  m_grid_occupancy_ = registry.register_gauge("chan.grid_max_occupancy",
+                                              obs::Unit::kCount, false);
+  publish_grid_gauges();
 }
 
 sim::Time Channel::airtime(const Packet& pkt) const {
@@ -44,43 +58,193 @@ sim::Time Channel::airtime(const Packet& pkt) const {
   return static_cast<sim::Time>(bits / params_.bitrate_bps * 1e6);
 }
 
-const Channel::ScaleCache& Channel::cache_for(double power_scale) const {
-  // Staleness check: a scenario may have moved a node or flipped a link
-  // window since these sets were built. Rebuild lazily from the current
-  // world rather than hand out stale reach bitsets.
-  if (topo_.version() != cache_topo_version_ ||
-      links_.revision() != cache_links_revision_) {
-    if (!scales_.empty()) {
-      scales_.clear();
-      ++cache_invalidations_;
+void Channel::publish_grid_gauges() const {
+  if (!metrics_) return;
+  metrics_->set(m_grid_cells_, static_cast<double>(grid_.cell_count()));
+  metrics_->set(m_grid_occupancy_,
+                static_cast<double>(grid_.max_occupancy()));
+}
+
+void Channel::discard_caches() const {
+  scales_.clear();
+  scale_index_.clear();
+  grid_.reset();
+}
+
+void Channel::mark_neighborhood_dirty(ScaleCache& cache, Position p) const {
+  if (cache.radius < 0.0 || !grid_.valid()) {
+    cache.mark_all_dirty(cache.neighbors.size());
+    return;
+  }
+  grid_.for_each_near(p.x, p.y, cache.radius,
+                      [&](NodeId s) { cache.mark_dirty(s); });
+}
+
+void Channel::apply_move(const Topology::MoveRecord& mv) const {
+  // Any source whose row could gain or lose the moved node sits within the
+  // scale's interference radius of one of the endpoints (interference is a
+  // distance bound), so two disc queries cover exactly the affected rows.
+  for (const auto& cache : scales_) {
+    mark_neighborhood_dirty(*cache, mv.from);
+    mark_neighborhood_dirty(*cache, mv.to);
+    if (mv.node < cache->neighbors.size()) cache->mark_dirty(mv.node);
+  }
+  grid_.move(mv.node, mv.to);
+}
+
+void Channel::sync_world() const {
+  const std::uint64_t tv = topo_.version();
+  const std::uint64_t lr = links_.revision();
+  if (tv == cache_topo_version_ && lr == cache_links_revision_) return;
+  if (scales_.empty()) {
+    // Nothing cached yet; a built grid would be a stale position snapshot.
+    grid_.reset();
+  } else {
+    // Incremental repair needs every cached scale on the lazy grid path
+    // plus a complete account of what changed (bounded logs: either can
+    // have been overwritten, and a link model may not track change sets
+    // at all). Anything short of that discards the caches — correct by
+    // construction, merely slower, and exactly the pre-grid behavior.
+    bool incremental = params_.grid_index && grid_.valid();
+    for (const auto& cache : scales_) {
+      if (cache->dirty.empty()) {
+        incremental = false;
+        break;
+      }
     }
-    cache_topo_version_ = topo_.version();
-    cache_links_revision_ = links_.revision();
+    move_scratch_.clear();
+    if (incremental && tv != cache_topo_version_) {
+      incremental = topo_.moves_since(cache_topo_version_, move_scratch_);
+    }
+    link_scratch_.clear();
+    if (incremental && lr != cache_links_revision_) {
+      incremental = links_.changed_nodes_since(cache_links_revision_,
+                                               link_scratch_);
+    }
+    if (incremental) {
+      for (const auto& mv : move_scratch_) apply_move(mv);
+      for (const NodeId id : link_scratch_) {
+        if (id >= topo_.size()) continue;
+        const Position p{grid_.x(id), grid_.y(id)};
+        for (const auto& cache : scales_) {
+          mark_neighborhood_dirty(*cache, p);
+          if (id < cache->neighbors.size()) cache->mark_dirty(id);
+        }
+      }
+      publish_grid_gauges();
+    } else {
+      discard_caches();
+    }
+    ++cache_invalidations_;
+    if (metrics_) metrics_->add(m_cache_invalidations_);
   }
-  for (const auto& c : scales_) {
-    if (c->power_scale == power_scale) return *c;
+  cache_topo_version_ = tv;
+  cache_links_revision_ = lr;
+}
+
+Channel::ScaleCache& Channel::scale_for(double power_scale) const {
+  sync_world();
+  const auto it = std::lower_bound(
+      scale_index_.begin(), scale_index_.end(), power_scale,
+      [](const std::pair<double, std::uint32_t>& e, double v) {
+        return e.first < v;
+      });
+  if (it != scale_index_.end() && it->first == power_scale) {
+    return *scales_[it->second];
   }
-  // First packet at this power scale: materialize the neighbor sets. One
-  // O(N^2) pass buys O(degree) for every subsequent transmission.
+  return build_scale(power_scale);
+}
+
+Channel::ScaleCache& Channel::build_scale(double power_scale) const {
+  // First packet at this power scale: materialize the neighbor rows. The
+  // grid path defers every row to first touch (O(neighbors) each); the
+  // eager reference path pays one O(N^2) pass up front.
   auto cache = std::make_unique<ScaleCache>();
   cache->power_scale = power_scale;
+  cache->radius = links_.max_interference_range(power_scale);
   const std::size_t n = topo_.size();
   cache->neighbors.resize(n);
   cache->success.resize(n);
-  cache->reach_bits.assign((n * n + 63) / 64, 0);
-  for (std::size_t src = 0; src < n; ++src) {
-    for (std::size_t dst = 0; dst < n; ++dst) {
-      const NodeId s = static_cast<NodeId>(src);
-      const NodeId d = static_cast<NodeId>(dst);
-      if (!links_.interferes(s, d, power_scale)) continue;
-      cache->neighbors[src].push_back(d);
-      cache->success[src].push_back(links_.packet_success(s, d, power_scale));
-      const std::size_t bit = src * n + dst;
-      cache->reach_bits[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+  const bool lazy =
+      params_.neighbor_cache && params_.grid_index && cache->radius >= 0.0;
+  if (lazy) {
+    if (!grid_.valid() && cache->radius > 0.0) {
+      grid_.build(topo_, cache->radius);
+      publish_grid_gauges();
+    }
+    cache->mark_all_dirty(n);
+  } else {
+    for (std::size_t src = 0; src < n; ++src) {
+      for (std::size_t dst = 0; dst < n; ++dst) {
+        if (src == dst) continue;
+        const NodeId s = static_cast<NodeId>(src);
+        const NodeId d = static_cast<NodeId>(dst);
+        if (!links_.interferes(s, d, power_scale)) continue;
+        cache->neighbors[src].push_back(d);
+        cache->success[src].push_back(
+            links_.packet_success(s, d, power_scale));
+      }
     }
   }
   scales_.push_back(std::move(cache));
-  return *scales_.back();
+  const auto index = static_cast<std::uint32_t>(scales_.size() - 1);
+  const auto pos = std::lower_bound(
+      scale_index_.begin(), scale_index_.end(), power_scale,
+      [](const std::pair<double, std::uint32_t>& e, double v) {
+        return e.first < v;
+      });
+  scale_index_.insert(pos, {power_scale, index});
+  return *scales_[index];
+}
+
+void Channel::rebuild_row(ScaleCache& cache, NodeId src) const {
+  std::vector<NodeId>& nbr = cache.neighbors[src];
+  std::vector<double>& suc = cache.success[src];
+  nbr.clear();
+  suc.clear();
+  const double ps = cache.power_scale;
+  if (grid_.valid() && cache.radius >= 0.0) {
+    // Grid superset -> exact filter -> sort: byte-identical to what the
+    // eager all-pairs pass builds for this row (ascending, self excluded),
+    // so both paths feed the RNG the same candidate streams.
+    row_scratch_.clear();
+    grid_.for_each_near(
+        grid_.x(src), grid_.y(src), cache.radius, [&](NodeId d) {
+          if (d != src && links_.interferes(src, d, ps)) {
+            row_scratch_.push_back(d);
+          }
+        });
+    std::sort(row_scratch_.begin(), row_scratch_.end());
+    nbr.assign(row_scratch_.begin(), row_scratch_.end());
+    suc.reserve(nbr.size());
+    for (const NodeId d : nbr) suc.push_back(links_.packet_success(src, d, ps));
+  } else {
+    const std::size_t n = topo_.size();
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      const NodeId d = static_cast<NodeId>(dst);
+      if (d == src || !links_.interferes(src, d, ps)) continue;
+      nbr.push_back(d);
+      suc.push_back(links_.packet_success(src, d, ps));
+    }
+  }
+  cache.clear_dirty(src);
+  ++cache_repairs_;
+  if (metrics_) metrics_->add(m_cache_repairs_);
+}
+
+bool Channel::row_reaches(ScaleCache& cache, NodeId src, NodeId dst) const {
+  if (src >= cache.neighbors.size()) return false;
+  ensure_row(cache, src);
+  const std::vector<NodeId>& nbr = cache.neighbors[src];
+  return std::binary_search(nbr.begin(), nbr.end(), dst);
+}
+
+std::pair<std::vector<NodeId>, std::vector<double>>
+Channel::neighbor_row_for_test(double power_scale, NodeId src) const {
+  ScaleCache& cache = scale_for(power_scale);
+  if (src >= cache.neighbors.size()) return {};
+  ensure_row(cache, src);
+  return {cache.neighbors[src], cache.success[src]};
 }
 
 bool Channel::carrier_busy(NodeId listener) const {
@@ -89,7 +253,7 @@ bool Channel::carrier_busy(NodeId listener) const {
     for (const auto& tx : active_) {
       if (tx->src == listener) return true;  // own transmission in flight
       if (listener < n &&
-          cache_for(tx->pkt().power_scale).reaches(n, tx->src, listener)) {
+          row_reaches(scale_for(tx->pkt().power_scale), tx->src, listener)) {
         return true;
       }
     }
@@ -152,19 +316,20 @@ void Channel::begin_transmission(NodeId src, FramePtr frame) {
   // Candidate receivers: every node currently listening whose radio hears
   // this source at all (interference reach, not just decode reach). The
   // decode probability rides along so delivery never re-queries the link
-  // model. Both paths enumerate in ascending node order.
+  // model. Both paths enumerate in ascending node order, and the listening
+  // filter reads the SoA byte array — no Radio dereference per neighbor.
   const std::size_t n = topo_.size();
-  const ScaleCache* tx_cache = nullptr;
+  ScaleCache* tx_cache = nullptr;
   if (params_.neighbor_cache) {
-    tx_cache = &cache_for(tx->pkt().power_scale);
+    tx_cache = &scale_for(tx->pkt().power_scale);
     if (src < n) {
+      ensure_row(*tx_cache, src);
       const auto& neighbors = tx_cache->neighbors[src];
       const auto& success = tx_cache->success[src];
       tx->candidates.reserve(neighbors.size());
       for (std::size_t i = 0; i < neighbors.size(); ++i) {
         const NodeId id = neighbors[i];
-        Radio* r = id < radios_.size() ? radios_[id] : nullptr;
-        if (!r || !r->is_listening()) continue;
+        if (id >= listening_.size() || !listening_[id]) continue;
         tx->candidates.push_back(id);
         tx->success.push_back(success[i]);
         tx->corrupted.push_back(false);
@@ -172,8 +337,7 @@ void Channel::begin_transmission(NodeId src, FramePtr frame) {
     }
   } else {
     for (NodeId id = 0; id < radios_.size(); ++id) {
-      Radio* r = radios_[id];
-      if (!r || id == src || !r->is_listening()) continue;
+      if (id == src || id >= listening_.size() || !listening_[id]) continue;
       if (!links_.interferes(src, id, tx->pkt().power_scale)) continue;
       tx->candidates.push_back(id);
       tx->success.push_back(
@@ -185,15 +349,15 @@ void Channel::begin_transmission(NodeId src, FramePtr frame) {
   // Cross-corruption with every transmission already in flight: a listener
   // reached by both sources decodes neither packet.
   for (const auto& other : active_) {
-    const ScaleCache* other_cache =
-        params_.neighbor_cache ? &cache_for(other->pkt().power_scale) : nullptr;
+    ScaleCache* other_cache =
+        params_.neighbor_cache ? &scale_for(other->pkt().power_scale) : nullptr;
     const auto other_reaches = [&](NodeId at) {
       return other_cache
-                 ? other_cache->reaches(n, other->src, at)
+                 ? row_reaches(*other_cache, other->src, at)
                  : links_.interferes(other->src, at, other->pkt().power_scale);
     };
     const auto tx_reaches = [&](NodeId at) {
-      return tx_cache ? tx_cache->reaches(n, src, at)
+      return tx_cache ? row_reaches(*tx_cache, src, at)
                       : links_.interferes(src, at, tx->pkt().power_scale);
     };
     for (std::size_t i = 0; i < tx->candidates.size(); ++i) {
@@ -240,7 +404,13 @@ void Channel::begin_transmission(NodeId src, FramePtr frame) {
   sim_.scheduler().post_at(tx->end, [this, tx] { end_transmission(tx); });
 }
 
+void Channel::radio_started_listening(NodeId id) {
+  if (id >= listening_.size()) listening_.resize(id + 1, 0);
+  listening_[id] = 1;
+}
+
 void Channel::radio_stopped_listening(NodeId id) {
+  if (id < listening_.size()) listening_[id] = 0;
   for (const auto& tx : active_) {
     // Mid-packet loss of the listener: the packet is gone for it.
     corrupt_listener(*tx, id);
@@ -262,8 +432,9 @@ void Channel::end_transmission(const std::shared_ptr<Active>& tx) {
   for (std::size_t i = 0; i < tx->candidates.size(); ++i) {
     if (tx->corrupted[i]) continue;
     const NodeId r = tx->candidates[i];
+    if (r >= listening_.size() || !listening_[r]) continue;
     Radio* radio = radios_[r];
-    if (!radio || !radio->is_listening()) continue;
+    if (!radio) continue;
     if (!rng_.bernoulli(tx->success[i])) continue;
     ++deliveries_;
     if (metrics_) metrics_->add(m_delivered_, r);

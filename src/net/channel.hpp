@@ -15,27 +15,35 @@
 // A receiver must be listening when a packet *starts* (preamble) and keep
 // listening until it ends; going off / transmitting mid-packet drops it.
 //
-// Hot-path structure: link models are static for the lifetime of a run, so
-// the channel precomputes, per transmit power scale, each node's
-// interference neighbor set (with the decode success probability cached
-// per edge) plus a flat reachability bitset. begin_transmission,
-// carrier_busy and the cross-corruption checks then touch only actual
-// neighbors — O(degree) instead of O(N) — and reachability queries are a
-// single bit test. Caches build lazily on the first packet sent at a given
-// power scale (battery-aware runs use a handful of scales, everyone else
-// exactly one). The original brute-force scans are kept as a debug
-// reference behind Params::neighbor_cache=false; both paths enumerate
-// candidates in ascending node order, so they consume the RNG identically
-// and whole runs are bit-for-bit comparable.
+// Hot-path structure (DESIGN.md section 11): per transmit power scale the
+// channel caches each node's interference neighbor row (ascending NodeId,
+// decode success cached per edge). Rows are *sparse* — reachability is a
+// binary search of the source's row, never an N^2 bitset — and are built
+// and repaired through a spatial-hash grid (SpatialGrid) sized to the
+// link model's interference radius, so one row costs O(neighbors), not
+// O(N). World changes repair incrementally: Topology::set_position and
+// scenario link windows mark only the affected sources dirty (per-scale
+// dirty bitset, repaired on next access) instead of discarding every
+// cache. The node-listening flags live in a struct-of-arrays byte vector
+// so candidate filtering never chases Radio pointers.
+//
+// Reference paths, kept for equivalence diffing: Params::grid_index=false
+// reverts to eager all-pairs builds with whole-cache invalidation (the
+// pre-grid behavior), Params::neighbor_cache=false to brute-force scans
+// with no cache at all. All paths enumerate candidates in ascending node
+// order, so they consume the RNG identically and whole runs are
+// bit-for-bit comparable.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "net/frame.hpp"
 #include "net/link_model.hpp"
 #include "net/packet.hpp"
+#include "net/spatial_grid.hpp"
 #include "net/topology.hpp"
 #include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -66,6 +74,14 @@ class Channel {
     /// pooling is off, and each transmission record is heap-allocated.
     /// Equivalence-tested bit-identical against the shared-frame path.
     bool zero_copy = true;
+    /// Debug/reference switch: false reverts to the pre-grid cache — an
+    /// eager all-pairs O(N^2) build per power scale, fully discarded on
+    /// any topology move or link-revision bump. The grid path builds and
+    /// repairs rows lazily through the spatial index and is equivalence-
+    /// tested bit-identical. Requires neighbor_cache; the grid prunes by
+    /// LinkModel::max_interference_range (models without a finite bound
+    /// fall back to the eager behavior automatically).
+    bool grid_index = true;
   };
 
   Channel(sim::Simulator& sim, const Topology& topo, const LinkModel& links,
@@ -106,6 +122,10 @@ class Channel {
   /// Radio -> channel: this node is no longer listening (turned off or
   /// started transmitting); it loses any packet currently in flight to it.
   void radio_stopped_listening(NodeId id);
+  /// Radio -> channel: this node resumed listening (turned on or finished
+  /// transmitting). Keeps the channel's listening flags — the SoA array
+  /// the candidate filter reads — in step with the radio state machines.
+  void radio_started_listening(NodeId id);
 
   // --- statistics ----------------------------------------------------------
   std::uint64_t transmissions() const { return transmissions_; }
@@ -116,9 +136,22 @@ class Channel {
   std::uint64_t concurrent_bulk_overlaps() const { return bulk_overlaps_; }
   /// Distinct power scales whose neighbor sets have been materialized.
   std::size_t cached_power_scales() const { return scales_.size(); }
-  /// Times the neighbor caches were discarded because the world changed
-  /// under them (topology move or link-model revision bump).
+  /// Times the world changed under live caches (topology move or link-
+  /// model revision bump). The grid path answers most of these with
+  /// incremental dirty-marking; the eager path discards every cache.
   std::uint64_t cache_invalidations() const { return cache_invalidations_; }
+  /// Neighbor rows (re)built lazily by the grid path — first-touch builds
+  /// and post-invalidation repairs alike.
+  std::uint64_t cache_repairs() const { return cache_repairs_; }
+  /// Spatial-index occupancy (0 when the grid path is off or unbuilt).
+  std::size_t grid_cells() const { return grid_.cell_count(); }
+  std::size_t grid_max_occupancy() const { return grid_.max_occupancy(); }
+
+  /// Test hook: the (neighbors, success) row `src` would transmit with at
+  /// `power_scale`, forcing any pending repair first. Lets equivalence
+  /// tests diff incremental repair against a from-scratch rebuild.
+  std::pair<std::vector<NodeId>, std::vector<double>> neighbor_row_for_test(
+      double power_scale, NodeId src) const;
 
  private:
   struct Active {
@@ -135,20 +168,63 @@ class Channel {
     const Packet& pkt() const { return *frame; }
   };
 
-  /// Neighbor sets + per-edge decode success for one power scale.
+  /// Neighbor rows + per-edge decode success for one power scale. Rows
+  /// are per-source (struct-of-arrays: ids and success side by side) —
+  /// reachability is a binary search, so nothing here is O(N^2).
   struct ScaleCache {
     double power_scale = 1.0;
+    double radius = -1.0;  // max interference range; < 0 = no finite bound
     std::vector<std::vector<NodeId>> neighbors;  // ascending, per source
     std::vector<std::vector<double>> success;    // parallel to neighbors
-    std::vector<std::uint64_t> reach_bits;       // n*n reachability bitset
+    std::vector<std::uint64_t> dirty;            // grid path: rows to repair
+    std::size_t dirty_count = 0;
 
-    bool reaches(std::size_t n, NodeId src, NodeId dst) const {
-      const std::size_t bit = static_cast<std::size_t>(src) * n + dst;
-      return (reach_bits[bit >> 6] >> (bit & 63)) & 1u;
+    bool row_dirty(NodeId src) const {
+      return (dirty[src >> 6] >> (src & 63)) & 1u;
+    }
+    void mark_dirty(NodeId src) {
+      std::uint64_t& word = dirty[src >> 6];
+      const std::uint64_t bit = std::uint64_t{1} << (src & 63);
+      if (!(word & bit)) {
+        word |= bit;
+        ++dirty_count;
+      }
+    }
+    void clear_dirty(NodeId src) {
+      dirty[src >> 6] &= ~(std::uint64_t{1} << (src & 63));
+      --dirty_count;
+    }
+    void mark_all_dirty(std::size_t n) {
+      dirty.assign((n + 63) / 64, ~std::uint64_t{0});
+      dirty_count = n;
     }
   };
 
-  const ScaleCache& cache_for(double power_scale) const;
+  /// Brings the caches up to date with the world (incremental when the
+  /// grid path can, whole-cache discard otherwise), then returns the cache
+  /// for `power_scale`, materializing it on first use.
+  ScaleCache& scale_for(double power_scale) const;
+  ScaleCache& build_scale(double power_scale) const;
+  /// Applies pending topology moves / link-revision changes to the grid
+  /// and dirty bitsets. Two integer compares when nothing changed.
+  void sync_world() const;
+  void apply_move(const Topology::MoveRecord& mv) const;
+  /// Marks every source whose row could involve a node at `p` dirty in
+  /// `cache` (grid query within the scale's radius; everything when the
+  /// radius has no finite bound).
+  void mark_neighborhood_dirty(ScaleCache& cache, Position p) const;
+  void discard_caches() const;
+  /// Repairs `src`'s row if dirty: grid-pruned collect + sort, or linear
+  /// scan when no finite radius exists. Identical output to the eager
+  /// all-pairs build, row by row.
+  void ensure_row(ScaleCache& cache, NodeId src) const {
+    if (cache.dirty_count != 0 && cache.row_dirty(src)) rebuild_row(cache, src);
+  }
+  void rebuild_row(ScaleCache& cache, NodeId src) const;
+  /// Sparse reachability: does `src` interfere at `dst` at this scale?
+  bool row_reaches(ScaleCache& cache, NodeId src, NodeId dst) const;
+  void publish_grid_gauges() const;
+
   /// Fetches a transmission record, recycling a retired one when the
   /// scheduler has let go of it (its completion lambda holds a reference
   /// until it fires, so only use_count()==1 entries are reusable).
@@ -167,17 +243,33 @@ class Channel {
   sim::Rng rng_;
   FramePool pool_;
   std::vector<Radio*> radios_;  // index = NodeId
+  /// Struct-of-arrays mirror of Radio::is_listening(), maintained by the
+  /// radio state machines: the candidate filter touches one byte per
+  /// neighbor instead of dereferencing a Radio per node.
+  std::vector<std::uint8_t> listening_;
   std::vector<std::shared_ptr<Active>> active_;
   std::vector<std::shared_ptr<Active>> retired_active_;  // reuse candidates
   // Lazily built, small (one entry per distinct power scale seen); mutable
   // so the const query paths can materialize a scale on first use.
   mutable std::vector<std::unique_ptr<ScaleCache>> scales_;
-  // World epoch the caches were built at: any topology move or link-model
-  // revision bump makes every cached neighbor set stale — mobility must
-  // never silently use old reach bitsets.
+  /// Sorted (power_scale, index into scales_) pairs: cache lookup is one
+  /// lower_bound probe, not a linear scan per transmission.
+  mutable std::vector<std::pair<double, std::uint32_t>> scale_index_;
+  /// Spatial index behind the grid path; rebuilt whenever the caches are
+  /// discarded, repaired via Topology's move log otherwise.
+  mutable SpatialGrid grid_;
+  // World epoch the caches were synced at: any topology move or link-model
+  // revision bump past these marks affected rows dirty (grid path) or
+  // discards the caches (eager path) — mobility must never silently use a
+  // stale neighbor row.
   mutable std::uint64_t cache_topo_version_ = 0;
   mutable std::uint64_t cache_links_revision_ = 0;
   mutable std::uint64_t cache_invalidations_ = 0;
+  mutable std::uint64_t cache_repairs_ = 0;
+  // Scratch for sync/rebuild (no per-event allocation in steady state).
+  mutable std::vector<Topology::MoveRecord> move_scratch_;
+  mutable std::vector<NodeId> link_scratch_;
+  mutable std::vector<NodeId> row_scratch_;
   ChannelObserver* observer_ = nullptr;
 
   obs::MetricsRegistry* metrics_ = nullptr;
@@ -185,6 +277,10 @@ class Channel {
   obs::MetricsRegistry::Counter m_delivered_;
   obs::MetricsRegistry::Counter m_collisions_;
   obs::MetricsRegistry::Counter m_bulk_overlaps_;
+  obs::MetricsRegistry::Counter m_cache_invalidations_;
+  obs::MetricsRegistry::Counter m_cache_repairs_;
+  obs::MetricsRegistry::Gauge m_grid_cells_;
+  obs::MetricsRegistry::Gauge m_grid_occupancy_;
 
   std::uint64_t transmissions_ = 0;
   std::uint64_t deliveries_ = 0;

@@ -71,7 +71,18 @@ ShadowingLinkModel::ShadowingLinkModel(const Topology& topo, Params params,
   shadow_db_.resize(n_ * n_, 0.0);
   for (std::size_t i = 0; i < n_ * n_; ++i) {
     shadow_db_[i] = rng.normal(0.0, params_.shadowing_stddev_db);
+    max_shadow_db_ = std::max(max_shadow_db_, shadow_db_[i]);
   }
+}
+
+double ShadowingLinkModel::max_interference_range(double power_scale) const {
+  if (power_scale <= 0.0) return 0.0;
+  // interferes() needs margin_db(d) + shadow > -interference_margin_db;
+  // with shadow <= max_shadow_db_ that bounds d by
+  // R * ps * 10^((interference_margin + max_shadow) / (10 n)).
+  return params_.range_ft * power_scale *
+         std::pow(10.0, (params_.interference_margin_db + max_shadow_db_) /
+                            (10.0 * params_.path_loss_exponent));
 }
 
 double ShadowingLinkModel::margin_db(double distance_ft,

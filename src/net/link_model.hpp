@@ -38,6 +38,26 @@ class LinkModel {
   /// Channel compares this against the value its neighbor caches were
   /// built at and rebuilds on mismatch.
   virtual std::uint64_t revision() const { return 0; }
+
+  /// Upper bound, in feet, on the distance at which interferes() can be
+  /// true at `power_scale` — the radius the Channel's spatial-grid index
+  /// prunes neighbor queries with. Negative means "no finite bound": the
+  /// grid falls back to linear scans (still incremental, just unpruned).
+  virtual double max_interference_range(double power_scale) const {
+    (void)power_scale;
+    return -1.0;
+  }
+
+  /// Incremental-invalidation hint: appends to `out` every node whose
+  /// links (in either direction) may answer differently now than at
+  /// revision `since`. Returns false when the model cannot enumerate the
+  /// change set — the caller must then treat every link as changed. The
+  /// default covers static models (revision() stays 0, nothing changed).
+  virtual bool changed_nodes_since(std::uint64_t since,
+                                   std::vector<NodeId>& out) const {
+    (void)out;
+    return since == revision();
+  }
 };
 
 /// Ideal unit-disk: perfect delivery within `range_ft`, nothing beyond.
@@ -48,6 +68,9 @@ class DiskLinkModel final : public LinkModel {
 
   double packet_success(NodeId src, NodeId dst, double power_scale) const override;
   bool interferes(NodeId src, NodeId dst, double power_scale) const override;
+  double max_interference_range(double power_scale) const override {
+    return range_ * interference_factor_ * power_scale;
+  }
 
  private:
   const Topology& topo_;
@@ -71,6 +94,9 @@ class EmpiricalLinkModel final : public LinkModel {
 
   double packet_success(NodeId src, NodeId dst, double power_scale) const override;
   bool interferes(NodeId src, NodeId dst, double power_scale) const override;
+  double max_interference_range(double power_scale) const override {
+    return params_.range_ft * params_.interference_factor * power_scale;
+  }
 
   /// The deterministic part of the curve, exposed for tests/plots.
   static double base_success(double distance_over_range, const Params& params);
@@ -105,6 +131,10 @@ class ShadowingLinkModel final : public LinkModel {
 
   double packet_success(NodeId src, NodeId dst, double power_scale) const override;
   bool interferes(NodeId src, NodeId dst, double power_scale) const override;
+  /// Interference needs margin > -interference_margin_db even with the
+  /// largest shadowing boost sampled at construction, which inverts to a
+  /// finite distance bound.
+  double max_interference_range(double power_scale) const override;
 
   /// Deterministic part: margin in dB at distance d for full power.
   double margin_db(double distance_ft, double power_scale) const;
@@ -113,6 +143,7 @@ class ShadowingLinkModel final : public LinkModel {
   const Topology& topo_;
   Params params_;
   std::vector<double> shadow_db_;  // per directed edge
+  double max_shadow_db_ = 0.0;     // largest sampled boost, for the bound
   std::size_t n_;
 };
 

@@ -16,6 +16,7 @@ void Radio::turn_on() {
     return;
   }
   state_ = State::kListening;
+  channel_.radio_started_listening(id_);
   meter_.radio_became_active(scheduler_.now());
   if (on_state_) on_state_(true, scheduler_.now());
 }
@@ -53,6 +54,7 @@ bool Radio::start_transmission(Packet pkt) {
 
 void Radio::finish_transmission() {
   state_ = State::kListening;
+  channel_.radio_started_listening(id_);
   if (off_pending_) {
     off_pending_ = false;
     turn_off();

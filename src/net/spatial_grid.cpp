@@ -1,0 +1,111 @@
+#include "net/spatial_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mnp::net {
+
+std::int32_t SpatialGrid::cell_coord(double v) const {
+  return static_cast<std::int32_t>(std::floor(v / cell_size_));
+}
+
+std::uint64_t SpatialGrid::pack(std::int32_t cx, std::int32_t cy) {
+  // Two offset-binary 32-bit halves; collision-free over the full plane.
+  const std::uint64_t ux =
+      static_cast<std::uint32_t>(static_cast<std::int64_t>(cx) + 0x80000000LL);
+  const std::uint64_t uy =
+      static_cast<std::uint32_t>(static_cast<std::int64_t>(cy) + 0x80000000LL);
+  return (ux << 32) | uy;
+}
+
+std::uint64_t SpatialGrid::mix(std::uint64_t key) {
+  // splitmix64 finalizer: spreads adjacent cell coordinates across slots.
+  key += 0x9E3779B97F4A7C15ULL;
+  key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  key = (key ^ (key >> 27)) * 0x94D049BB133111EBULL;
+  return key ^ (key >> 31);
+}
+
+std::uint32_t SpatialGrid::find_cell(std::uint64_t key) const {
+  if (slots_.empty()) return kNoCell;
+  std::uint64_t slot = mix(key) & slot_mask_;
+  while (true) {
+    const std::uint32_t entry = slots_[slot];
+    if (entry == 0) return kNoCell;
+    const std::uint32_t cell = entry - 1;
+    if (cells_[cell].key == key) return cell;
+    slot = (slot + 1) & slot_mask_;
+  }
+}
+
+void SpatialGrid::insert_slot(std::uint64_t key, std::uint32_t cell_index) {
+  std::uint64_t slot = mix(key) & slot_mask_;
+  while (slots_[slot] != 0) slot = (slot + 1) & slot_mask_;
+  slots_[slot] = cell_index + 1;
+}
+
+void SpatialGrid::grow_slots() {
+  const std::size_t capacity = slots_.empty() ? 64 : slots_.size() * 2;
+  slots_.assign(capacity, 0);
+  slot_mask_ = capacity - 1;
+  for (std::uint32_t i = 0; i < cells_.size(); ++i) {
+    insert_slot(cells_[i].key, i);
+  }
+}
+
+std::uint32_t SpatialGrid::find_or_create_cell(std::uint64_t key) {
+  const std::uint32_t existing = find_cell(key);
+  if (existing != kNoCell) return existing;
+  // Keep load below 1/2 so linear probes stay short.
+  if ((cells_.size() + 1) * 2 > slots_.size()) grow_slots();
+  cells_.push_back(Cell{key, {}});
+  const auto index = static_cast<std::uint32_t>(cells_.size() - 1);
+  insert_slot(key, index);
+  return index;
+}
+
+void SpatialGrid::build(const Topology& topo, double cell_size_ft) {
+  reset();
+  cell_size_ = cell_size_ft;
+  const std::size_t n = topo.size();
+  xs_.resize(n);
+  ys_.resize(n);
+  cell_of_.assign(n, kNoCell);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Position& p = topo.position(static_cast<NodeId>(i));
+    xs_[i] = p.x;
+    ys_[i] = p.y;
+    const std::uint32_t cell =
+        find_or_create_cell(pack(cell_coord(p.x), cell_coord(p.y)));
+    cells_[cell].members.push_back(static_cast<NodeId>(i));
+    cell_of_[i] = cell;
+    max_occupancy_ = std::max(max_occupancy_, cells_[cell].members.size());
+  }
+}
+
+void SpatialGrid::reset() {
+  xs_.clear();
+  ys_.clear();
+  cell_of_.clear();
+  cells_.clear();
+  slots_.clear();
+  slot_mask_ = 0;
+  cell_size_ = 0.0;
+  max_occupancy_ = 0;
+}
+
+void SpatialGrid::move(NodeId id, Position to) {
+  const std::uint64_t new_key = pack(cell_coord(to.x), cell_coord(to.y));
+  xs_[id] = to.x;
+  ys_[id] = to.y;
+  const std::uint32_t old_cell = cell_of_[id];
+  if (cells_[old_cell].key == new_key) return;  // same bucket, cheap case
+  std::vector<NodeId>& old_members = cells_[old_cell].members;
+  old_members.erase(std::find(old_members.begin(), old_members.end(), id));
+  const std::uint32_t new_cell = find_or_create_cell(new_key);
+  cells_[new_cell].members.push_back(id);
+  cell_of_[id] = new_cell;
+  max_occupancy_ = std::max(max_occupancy_, cells_[new_cell].members.size());
+}
+
+}  // namespace mnp::net

@@ -1,0 +1,96 @@
+// SpatialGrid: a spatial-hash index over node positions, the structure
+// behind the Channel's O(neighbors) cache rebuilds (DESIGN.md section 11).
+//
+// Positions are bucketed into square cells keyed by integer coordinates;
+// a radius query visits only the cell rectangle covering the disc, so for
+// cells sized to the interference radius a neighbor-set rebuild touches a
+// handful of cells instead of all N nodes. The cell table is a custom
+// open-addressing hash map (power-of-two slots, linear probing) rather
+// than std::unordered_map: behaviour must be bit-for-bit deterministic
+// and the repo's determinism lint bans the std hash containers outright.
+// Query results are unordered — callers that need the repo's canonical
+// ascending-NodeId enumeration sort what they collect.
+//
+// The grid owns a struct-of-arrays snapshot of positions (xs_/ys_), kept
+// in sync via move(); radius queries and dirty-neighborhood marking read
+// the snapshot linearly instead of chasing Topology references.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/topology.hpp"
+
+namespace mnp::net {
+
+class SpatialGrid {
+ public:
+  SpatialGrid() = default;
+
+  /// (Re)buckets every node of `topo` into cells of `cell_size_ft`.
+  void build(const Topology& topo, double cell_size_ft);
+
+  /// Discards the index; valid() turns false until the next build().
+  void reset();
+  bool valid() const { return cell_size_ > 0.0; }
+  double cell_size() const { return cell_size_; }
+
+  double x(NodeId id) const { return xs_[id]; }
+  double y(NodeId id) const { return ys_[id]; }
+
+  /// Moves one node: snapshot update plus bucket transfer. O(occupancy of
+  /// the old cell) — cells hold a handful of nodes by construction.
+  void move(NodeId id, Position to);
+
+  /// Invokes `fn(NodeId)` for every node whose cell intersects the square
+  /// circumscribing the disc at (x, y) with `radius` — a superset of the
+  /// disc, in unspecified order. Callers filter by their real predicate.
+  template <typename Fn>
+  void for_each_near(double qx, double qy, double radius, Fn&& fn) const {
+    const std::int32_t cx0 = cell_coord(qx - radius);
+    const std::int32_t cx1 = cell_coord(qx + radius);
+    const std::int32_t cy0 = cell_coord(qy - radius);
+    const std::int32_t cy1 = cell_coord(qy + radius);
+    for (std::int32_t cy = cy0; cy <= cy1; ++cy) {
+      for (std::int32_t cx = cx0; cx <= cx1; ++cx) {
+        const std::uint32_t cell = find_cell(pack(cx, cy));
+        if (cell == kNoCell) continue;
+        for (const NodeId id : cells_[cell].members) fn(id);
+      }
+    }
+  }
+
+  // --- occupancy statistics (chan.grid_* gauges) ---------------------------
+  std::size_t cell_count() const { return cells_.size(); }
+  /// High-water mark of nodes sharing one cell since the last build().
+  std::size_t max_occupancy() const { return max_occupancy_; }
+
+ private:
+  static constexpr std::uint32_t kNoCell = 0xFFFFFFFFu;
+
+  struct Cell {
+    std::uint64_t key = 0;
+    std::vector<NodeId> members;
+  };
+
+  std::int32_t cell_coord(double v) const;
+  static std::uint64_t pack(std::int32_t cx, std::int32_t cy);
+  static std::uint64_t mix(std::uint64_t key);
+  std::uint32_t find_cell(std::uint64_t key) const;
+  std::uint32_t find_or_create_cell(std::uint64_t key);
+  void insert_slot(std::uint64_t key, std::uint32_t cell_index);
+  void grow_slots();
+
+  std::vector<double> xs_;  // SoA position snapshot, index = NodeId
+  std::vector<double> ys_;
+  std::vector<std::uint32_t> cell_of_;  // node -> index into cells_
+  std::vector<Cell> cells_;
+  // Open addressing: slot holds cell_index + 1, 0 = empty. Cells are never
+  // removed (an emptied cell stays allocated), so no tombstones needed.
+  std::vector<std::uint32_t> slots_;
+  std::uint64_t slot_mask_ = 0;
+  double cell_size_ = 0.0;
+  std::size_t max_occupancy_ = 0;
+};
+
+}  // namespace mnp::net

@@ -17,4 +17,29 @@ Topology Topology::grid(std::size_t rows, std::size_t cols, double spacing_ft) {
   return t;
 }
 
+void Topology::set_position(NodeId id, Position p) {
+  Position& slot = positions_.at(id);
+  const Position from = slot;
+  slot = p;
+  ++version_;
+  if (move_log_.size() < kMoveLogCapacity) {
+    move_log_.push_back(MoveRecord{version_, id, from, p});
+  } else {
+    move_log_[static_cast<std::size_t>(version_ - 1) % kMoveLogCapacity] =
+        MoveRecord{version_, id, from, p};
+  }
+}
+
+bool Topology::moves_since(std::uint64_t since,
+                           std::vector<MoveRecord>& out) const {
+  if (since >= version_) return true;  // nothing newer than the caller has
+  const std::uint64_t missing = version_ - since;
+  if (missing > move_log_.size()) return false;  // ring overwrote history
+  for (std::uint64_t v = since + 1; v <= version_; ++v) {
+    out.push_back(
+        move_log_[static_cast<std::size_t>(v - 1) % kMoveLogCapacity]);
+  }
+  return true;
+}
+
 }  // namespace mnp::net

@@ -25,6 +25,17 @@ inline double distance(const Position& a, const Position& b) {
 
 class Topology {
  public:
+  /// One recorded position mutation: after applying it the topology was at
+  /// `version`, node `node` having left `from` for `to`. Consumers that
+  /// cache position-derived state (the Channel's spatial grid) replay these
+  /// to repair incrementally instead of rebuilding from scratch.
+  struct MoveRecord {
+    std::uint64_t version = 0;
+    NodeId node = 0;
+    Position from;
+    Position to;
+  };
+
   Topology() = default;
   explicit Topology(std::vector<Position> positions)
       : positions_(std::move(positions)) {}
@@ -44,15 +55,18 @@ class Topology {
 
   /// Moves a node (scenario mobility). Bumps version() so consumers that
   /// cache anything derived from positions — notably the Channel's
-  /// per-power-scale adjacency — can detect staleness and rebuild.
-  void set_position(NodeId id, Position p) {
-    positions_.at(id) = p;
-    ++version_;
-  }
+  /// per-power-scale adjacency — can detect staleness, and logs the move
+  /// (bounded ring) so they can repair incrementally via moves_since().
+  void set_position(NodeId id, Position p);
 
   /// Monotone counter incremented on every position mutation. A topology
   /// that has never moved reports 0.
   std::uint64_t version() const { return version_; }
+
+  /// Appends every logged move with version > `since`, oldest first, to
+  /// `out`. Returns false when the ring no longer reaches back to `since`
+  /// (the consumer fell too far behind and must rebuild from scratch).
+  bool moves_since(std::uint64_t since, std::vector<MoveRecord>& out) const;
 
   /// Grid helpers (only meaningful for grid-built topologies).
   std::size_t grid_rows() const { return rows_; }
@@ -61,7 +75,14 @@ class Topology {
   bool is_grid() const { return rows_ > 0; }
 
  private:
+  /// Move-log depth. Mobility produces one entry per interpolation tick
+  /// and the Channel drains the log on its next transmission, so the ring
+  /// only needs to cover the moves between two packets — 4096 is orders of
+  /// magnitude more than any scenario produces in that window.
+  static constexpr std::size_t kMoveLogCapacity = 4096;
+
   std::vector<Position> positions_;
+  std::vector<MoveRecord> move_log_;  // ring, slot = version % capacity
   std::uint64_t version_ = 0;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;

@@ -32,7 +32,11 @@ namespace mnp::obs {
 /// v2: scenario fault track (virtual "scenario" process after the
 /// "network" process), Scenario events, scenario.* counters, xnp.*
 /// metrics, and the manifest's "scenario" config keys.
-inline constexpr int kTelemetrySchemaVersion = 2;
+/// v3: channel cache telemetry — chan.cache_repairs /
+/// chan.cache_invalidations counters and chan.grid_* gauges in the
+/// registry, plus "cache_repairs" / "cache_invalidations" counter tracks
+/// under the virtual "network" process in the trace.
+inline constexpr int kTelemetrySchemaVersion = 3;
 
 enum class Unit : std::uint8_t {
   kCount,

@@ -26,21 +26,57 @@ bool ScenarioLinkModel::interferes(net::NodeId src, net::NodeId dst,
   return inner_->interferes(src, dst, power_scale);
 }
 
+void ScenarioLinkModel::log_change(bool all, std::vector<net::NodeId> nodes) {
+  ++revision_;
+  ChangeRecord rec{revision_, all, std::move(nodes)};
+  if (change_log_.size() < kChangeLogCapacity) {
+    change_log_.push_back(std::move(rec));
+  } else {
+    change_log_[static_cast<std::size_t>(revision_ - 1) % kChangeLogCapacity] =
+        std::move(rec);
+  }
+}
+
+bool ScenarioLinkModel::changed_nodes_since(
+    std::uint64_t since, std::vector<net::NodeId>& out) const {
+  if (since > revision_) return false;  // caller from the future: rebuild
+  if (since == revision_) return true;
+  if (revision_ - since > change_log_.size()) return false;  // overwritten
+  for (std::uint64_t v = since + 1; v <= revision_; ++v) {
+    const ChangeRecord& rec =
+        change_log_[static_cast<std::size_t>(v - 1) % kChangeLogCapacity];
+    if (rec.all) return false;  // everyone changed: no useful enumeration
+    out.insert(out.end(), rec.nodes.begin(), rec.nodes.end());
+  }
+  return true;
+}
+
 void ScenarioLinkModel::set_partition(
     const std::vector<std::vector<net::NodeId>>& groups) {
+  // A partition only changes links with a *named* endpoint (unnamed nodes
+  // share the implicit group and keep talking to each other) — but a
+  // replaced partition also releases its previously named nodes, so both
+  // name sets land in the change record.
+  std::vector<net::NodeId> affected = partition_nodes_;
   std::fill(group_.begin(), group_.end(), -1);
+  partition_nodes_.clear();
   for (std::size_t g = 0; g < groups.size(); ++g) {
     for (const net::NodeId id : groups[g]) {
-      if (id < group_.size()) group_[id] = static_cast<int>(g);
+      if (id < group_.size()) {
+        group_[id] = static_cast<int>(g);
+        partition_nodes_.push_back(id);
+      }
     }
   }
+  affected.insert(affected.end(), partition_nodes_.begin(),
+                  partition_nodes_.end());
   partition_active_ = true;
-  ++revision_;
+  log_change(false, std::move(affected));
 }
 
 void ScenarioLinkModel::clear_partition() {
   partition_active_ = false;
-  ++revision_;
+  log_change(false, partition_nodes_);
 }
 
 void ScenarioLinkModel::begin_degrade(double factor,
@@ -52,7 +88,7 @@ void ScenarioLinkModel::begin_degrade(double factor,
       if (id < factor_.size()) factor_[id] *= factor;
     }
   }
-  ++revision_;
+  log_change(nodes.empty(), nodes);
 }
 
 void ScenarioLinkModel::end_degrade(double factor,
@@ -74,7 +110,7 @@ void ScenarioLinkModel::end_degrade(double factor,
       if (id < factor_.size()) factor_[id] /= factor;
     }
   }
-  ++revision_;
+  log_change(nodes.empty(), nodes);
 }
 
 }  // namespace mnp::scenario

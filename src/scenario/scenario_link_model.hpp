@@ -26,6 +26,16 @@ class ScenarioLinkModel final : public net::LinkModel {
   bool interferes(net::NodeId src, net::NodeId dst,
                   double power_scale) const override;
   std::uint64_t revision() const override { return revision_; }
+  /// Partitions and degrades only ever *remove* links the inner model
+  /// offers, so the inner model's bound holds unchanged.
+  double max_interference_range(double power_scale) const override {
+    return inner_->max_interference_range(power_scale);
+  }
+  /// Enumerates the nodes touched by every window edge since `since` from
+  /// a bounded per-revision log, so the Channel repairs only the affected
+  /// neighborhoods instead of discarding every cache.
+  bool changed_nodes_since(std::uint64_t since,
+                           std::vector<net::NodeId>& out) const override;
 
   /// Nodes in different groups cannot reach each other at all. Nodes in
   /// no listed group share one implicit extra group (they keep talking to
@@ -41,15 +51,32 @@ class ScenarioLinkModel final : public net::LinkModel {
   void end_degrade(double factor, const std::vector<net::NodeId>& nodes);
 
  private:
+  /// One mutation's footprint: the nodes whose links it touched (`all`
+  /// when it touched everyone). The log is a ring over the last
+  /// kChangeLogCapacity revisions; consumers further behind than that get
+  /// "unknown" and fall back to a full rebuild.
+  struct ChangeRecord {
+    std::uint64_t revision = 0;
+    bool all = false;
+    std::vector<net::NodeId> nodes;
+  };
+  static constexpr std::size_t kChangeLogCapacity = 256;
+
   bool severed(net::NodeId src, net::NodeId dst) const {
     return partition_active_ && src < group_.size() && dst < group_.size() &&
            group_[src] != group_[dst];
   }
+  void log_change(bool all, std::vector<net::NodeId> nodes);
 
   std::unique_ptr<net::LinkModel> inner_;
   bool partition_active_ = false;
   std::vector<int> group_;      // node -> group id; -1 = implicit group
   std::vector<double> factor_;  // per-node success multiplier
+  // Nodes named by the active (or last) partition: a partition only ever
+  // changes links with at least one named endpoint, so set/clear windows
+  // log exactly this set.
+  std::vector<net::NodeId> partition_nodes_;
+  std::vector<ChangeRecord> change_log_;  // ring, slot = revision % capacity
   std::uint64_t revision_ = 0;
 };
 

@@ -8,6 +8,7 @@
 #include "net/channel.hpp"
 #include "net/link_model.hpp"
 #include "net/radio.hpp"
+#include "scenario/scenario_link_model.hpp"
 #include "sim/simulator.hpp"
 
 namespace mnp::net {
@@ -249,7 +250,7 @@ TEST_F(ChannelTest, CannotTransmitWhileOffOrBusy) {
 // same deliveries, collisions and carrier-sense answers on any topology.
 class EquivalenceStack {
  public:
-  EquivalenceStack(bool cached, std::size_t n) : sim_(99) {
+  EquivalenceStack(Channel::Params cp, std::size_t n) : sim_(99) {
     sim::Rng place(1234);  // same placement in both stacks
     for (std::size_t i = 0; i < n; ++i) {
       topo_.add({place.uniform_real(0.0, 120.0),
@@ -257,8 +258,6 @@ class EquivalenceStack {
     }
     EmpiricalLinkModel::Params lp;
     links_ = std::make_unique<EmpiricalLinkModel>(topo_, lp, sim::Rng(777));
-    Channel::Params cp;
-    cp.neighbor_cache = cached;
     channel_ = std::make_unique<Channel>(sim_, topo_, *links_, cp);
     received_.assign(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
@@ -325,38 +324,226 @@ class EquivalenceStack {
   std::vector<bool> carrier_samples_;
 };
 
+Channel::Params grid_params() { return Channel::Params{}; }  // grid on
+
+Channel::Params eager_params() {
+  Channel::Params cp;
+  cp.grid_index = false;  // pre-grid eager cache
+  return cp;
+}
+
+Channel::Params brute_params() {
+  Channel::Params cp;
+  cp.neighbor_cache = false;
+  return cp;
+}
+
 TEST(ChannelNeighborCache, MatchesBruteForceOnRandomTopology) {
-  EquivalenceStack cached(/*cached=*/true, 48);
-  EquivalenceStack brute(/*cached=*/false, 48);
-  cached.drive();
+  EquivalenceStack grid(grid_params(), 48);
+  EquivalenceStack eager(eager_params(), 48);
+  EquivalenceStack brute(brute_params(), 48);
+  grid.drive();
+  eager.drive();
   brute.drive();
 
-  EXPECT_EQ(cached.channel_->transmissions(), brute.channel_->transmissions());
-  EXPECT_EQ(cached.channel_->deliveries(), brute.channel_->deliveries());
-  EXPECT_EQ(cached.channel_->collisions(), brute.channel_->collisions());
-  EXPECT_EQ(cached.channel_->concurrent_bulk_overlaps(),
-            brute.channel_->concurrent_bulk_overlaps());
-  EXPECT_EQ(cached.received_, brute.received_);
-  EXPECT_EQ(cached.carrier_samples_, brute.carrier_samples_);
+  for (const auto* cached : {&grid, &eager}) {
+    EXPECT_EQ(cached->channel_->transmissions(),
+              brute.channel_->transmissions());
+    EXPECT_EQ(cached->channel_->deliveries(), brute.channel_->deliveries());
+    EXPECT_EQ(cached->channel_->collisions(), brute.channel_->collisions());
+    EXPECT_EQ(cached->channel_->concurrent_bulk_overlaps(),
+              brute.channel_->concurrent_bulk_overlaps());
+    EXPECT_EQ(cached->received_, brute.received_);
+    EXPECT_EQ(cached->carrier_samples_, brute.carrier_samples_);
+    // Two power scales were in play, so two neighbor caches materialized.
+    EXPECT_EQ(cached->channel_->cached_power_scales(), 2u);
+  }
   // Sanity: the run exercised something in every dimension we compare.
-  EXPECT_GT(cached.channel_->deliveries(), 0u);
-  EXPECT_GT(cached.channel_->collisions(), 0u);
-  // Two power scales were in play, so two neighbor caches materialized.
-  EXPECT_EQ(cached.channel_->cached_power_scales(), 2u);
+  EXPECT_GT(grid.channel_->deliveries(), 0u);
+  EXPECT_GT(grid.channel_->collisions(), 0u);
   EXPECT_EQ(brute.channel_->cached_power_scales(), 0u);
+  // The grid path really ran lazily: rows were materialized on demand.
+  EXPECT_GT(grid.channel_->cache_repairs(), 0u);
+  EXPECT_GT(grid.channel_->grid_cells(), 0u);
+  EXPECT_EQ(eager.channel_->cache_repairs(), 0u);
 }
 
 TEST(ChannelNeighborCache, PairwiseQueriesMatchLinkModel) {
-  // The reachability bitset and per-edge success cache must agree with the
+  // The sparse reach rows and per-edge success cache must agree with the
   // link model for every directed pair, at a non-default power scale too.
-  EquivalenceStack cached(/*cached=*/true, 24);
-  EquivalenceStack brute(/*cached=*/false, 24);
+  EquivalenceStack cached(grid_params(), 24);
+  EquivalenceStack brute(brute_params(), 24);
   cached.drive();
   brute.drive();
   for (std::size_t s = 0; s < 24; ++s) {
     ASSERT_EQ(cached.channel_->carrier_busy(static_cast<NodeId>(s)),
               brute.channel_->carrier_busy(static_cast<NodeId>(s)));
   }
+}
+
+// --- grid path under churn: mobility, partitions, degrade windows ---------
+//
+// Same three-way comparison, but the world itself changes mid-run: nodes
+// teleport between waypoints (Topology::set_position, exactly what the
+// scenario engine's mobility interpolation calls) and a ScenarioLinkModel
+// opens partition and degrade windows. The grid path repairs its rows
+// incrementally; eager discards everything; brute consults the model live.
+// All three must produce bit-identical deliveries, collisions and
+// carrier-sense answers on every seed.
+class ChurnStack {
+ public:
+  ChurnStack(Channel::Params cp, std::size_t n, std::uint64_t seed)
+      : sim_(99 + seed) {
+    sim::Rng place(1234 + seed);  // same placement across the three stacks
+    for (std::size_t i = 0; i < n; ++i) {
+      topo_.add({place.uniform_real(0.0, 150.0),
+                 place.uniform_real(0.0, 150.0)});
+    }
+    links_ = std::make_unique<scenario::ScenarioLinkModel>(
+        std::make_unique<DiskLinkModel>(topo_, 25.0, 1.5), n);
+    channel_ = std::make_unique<Channel>(sim_, topo_, *links_, cp);
+    received_.assign(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      meters_.push_back(std::make_unique<energy::EnergyMeter>());
+      radios_.push_back(std::make_unique<Radio>(
+          static_cast<NodeId>(i), sim_.scheduler(), *channel_, *meters_[i]));
+      channel_->register_radio(*radios_[i]);
+      radios_[i]->set_receive_handler(
+          [this, i](const Packet&) { ++received_[i]; });
+      radios_[i]->turn_on();
+    }
+  }
+
+  void drive(std::uint64_t seed) {
+    const auto n = static_cast<std::int64_t>(radios_.size());
+    sim::Rng traffic(4242 + seed);  // same schedule across the three stacks
+    for (int burst = 0; burst < 60; ++burst) {
+      const auto at = static_cast<sim::Time>(traffic.uniform_int(0, 1800000));
+      const auto who = static_cast<NodeId>(traffic.uniform_int(0, n - 1));
+      const bool bulk = traffic.bernoulli(0.5);
+      const double scale = traffic.bernoulli(0.25) ? 0.5 : 1.0;
+      sim_.scheduler().schedule_at(at, [this, who, bulk, scale] {
+        Packet pkt;
+        if (bulk) {
+          DataMsg d;
+          d.payload.assign(22, 0x5A);
+          pkt.payload = std::move(d);
+        } else {
+          pkt.payload = AdvertisementMsg{};
+        }
+        pkt.src = who;
+        pkt.power_scale = scale;
+        radios_[who]->start_transmission(pkt);
+      });
+      if (burst % 4 == 0) {  // waypoint hop between two transmissions
+        const auto mover = static_cast<NodeId>(traffic.uniform_int(0, n - 1));
+        const double nx = traffic.uniform_real(0.0, 150.0);
+        const double ny = traffic.uniform_real(0.0, 150.0);
+        sim_.scheduler().schedule_at(at + 500, [this, mover, nx, ny] {
+          topo_.set_position(mover, {nx, ny});
+        });
+      }
+      if (burst % 7 == 0) {
+        sim_.scheduler().schedule_at(at + 1000, [this] {
+          for (std::size_t i = 0; i < radios_.size(); ++i) {
+            carrier_samples_.push_back(
+                channel_->carrier_busy(static_cast<NodeId>(i)));
+          }
+        });
+      }
+    }
+    sim_.scheduler().schedule_at(400000, [this] {
+      links_->set_partition({{0, 1, 2, 3, 4}, {5, 6, 7}});
+    });
+    sim_.scheduler().schedule_at(900000, [this] { links_->clear_partition(); });
+    sim_.scheduler().schedule_at(1100000, [this] {
+      links_->begin_degrade(0.5, {2, 9, 11});
+    });
+    sim_.scheduler().schedule_at(1500000, [this] {
+      links_->end_degrade(0.5, {2, 9, 11});
+    });
+    sim_.run_until(sim::sec(3));
+  }
+
+  sim::Simulator sim_;
+  Topology topo_;
+  std::unique_ptr<scenario::ScenarioLinkModel> links_;
+  std::unique_ptr<Channel> channel_;
+  std::vector<std::unique_ptr<energy::EnergyMeter>> meters_;
+  std::vector<std::unique_ptr<Radio>> radios_;
+  std::vector<std::uint64_t> received_;
+  std::vector<bool> carrier_samples_;
+};
+
+TEST(ChannelGridChurn, MatchesEagerAndBruteUnderMobilityAndPartitions) {
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    ChurnStack grid(grid_params(), 32, seed);
+    ChurnStack eager(eager_params(), 32, seed);
+    ChurnStack brute(brute_params(), 32, seed);
+    grid.drive(seed);
+    eager.drive(seed);
+    brute.drive(seed);
+
+    for (const auto* cached : {&grid, &eager}) {
+      EXPECT_EQ(cached->channel_->transmissions(),
+                brute.channel_->transmissions())
+          << "seed " << seed;
+      EXPECT_EQ(cached->channel_->deliveries(), brute.channel_->deliveries())
+          << "seed " << seed;
+      EXPECT_EQ(cached->channel_->collisions(), brute.channel_->collisions())
+          << "seed " << seed;
+      EXPECT_EQ(cached->channel_->concurrent_bulk_overlaps(),
+                brute.channel_->concurrent_bulk_overlaps())
+          << "seed " << seed;
+      EXPECT_EQ(cached->received_, brute.received_) << "seed " << seed;
+      EXPECT_EQ(cached->carrier_samples_, brute.carrier_samples_)
+          << "seed " << seed;
+    }
+    // The run exercised delivery and the incremental-repair machinery.
+    EXPECT_GT(brute.channel_->deliveries(), 0u);
+    EXPECT_GT(grid.channel_->cache_invalidations(), 0u);
+    EXPECT_GT(grid.channel_->cache_repairs(), 0u);
+  }
+}
+
+TEST(ChannelGridChurn, CarrierSenseStaysExactAfterMoves) {
+  // Regression for the carrier-sense path: it must consult the *repaired*
+  // reach rows after a move, never a stale row and never a full scan that
+  // disagrees with delivery. Node 2 starts out of range of 0, walks into
+  // range mid-transmission-gap, and back out.
+  sim::Simulator sim(3);
+  Topology topo;
+  topo.add({0.0, 0.0});
+  topo.add({10.0, 0.0});
+  topo.add({100.0, 0.0});
+  DiskLinkModel links(topo, 15.0);
+  Channel channel(sim, topo, links, grid_params());
+  energy::EnergyMeter m0, m1, m2;
+  Radio r0(0, sim.scheduler(), channel, m0);
+  Radio r1(1, sim.scheduler(), channel, m1);
+  Radio r2(2, sim.scheduler(), channel, m2);
+  for (Radio* r : {&r0, &r1, &r2}) {
+    channel.register_radio(*r);
+    r->turn_on();
+  }
+  Packet pkt;
+  pkt.payload = AdvertisementMsg{};
+
+  r0.start_transmission(pkt);
+  EXPECT_TRUE(channel.carrier_busy(1));
+  EXPECT_FALSE(channel.carrier_busy(2));  // 100 ft away
+  sim.run_until(sim::sec(1));
+
+  topo.set_position(2, {12.0, 0.0});  // walks next to the source
+  r0.start_transmission(pkt);
+  EXPECT_TRUE(channel.carrier_busy(2));
+  sim.run_until(sim::sec(2));
+  EXPECT_GE(channel.cache_invalidations(), 1u);
+
+  topo.set_position(2, {100.0, 0.0});  // and back out of range
+  r0.start_transmission(pkt);
+  EXPECT_FALSE(channel.carrier_busy(2));
+  sim.run_until(sim::sec(3));
 }
 
 // --- cache staleness: world mutations must invalidate ---------------------

@@ -156,12 +156,17 @@ TEST(ObservedRun, PublishesMetricsTraceAndCounterTracks) {
   EXPECT_GT(obs.metrics.counter_total("mnp.data_sent"), 0u);
   EXPECT_GT(obs.metrics.gauge_total("energy.nah"), 0.0);
   EXPECT_DOUBLE_EQ(obs.metrics.gauge_total("run.completed_nodes"), 9.0);
-  // Counter tracks: per-node energy plus the four message-class series.
-  ASSERT_EQ(obs.counters.size(), 9u + 4u);
+  // Counter tracks: per-node energy, the two channel cache-health series,
+  // then the four message-class series.
+  ASSERT_EQ(obs.counters.size(), 9u + 2u + 4u);
   EXPECT_EQ(obs.counters[0].name, "energy_nah");
   EXPECT_GE(obs.counters[0].samples.size(), 2u);  // t=0 and the final sample
-  EXPECT_EQ(obs.counters[9].name, "msgs_per_min_adv");
+  EXPECT_EQ(obs.counters[9].name, "cache_repairs");
   EXPECT_EQ(obs.counters[9].process, "network");
+  EXPECT_GE(obs.counters[9].samples.size(), 2u);
+  EXPECT_EQ(obs.counters[10].name, "cache_invalidations");
+  EXPECT_EQ(obs.counters[11].name, "msgs_per_min_adv");
+  EXPECT_EQ(obs.counters[11].process, "network");
 }
 
 TEST(ObservedRun, ObservationDoesNotPerturbTheRun) {

@@ -6,8 +6,8 @@
 //               [--seed N] [--mac csma|tdma] [--no-pipelining]
 //               [--no-query-update] [--battery-aware] [--duty-cycle F]
 //               [--disk-links] [--scenario PATH] [--csv PREFIX] [--quiet]
-//               [--runs N] [--jobs N]
-//               [--trace-out PATH] [--metrics-out PATH]
+//               [--runs N] [--jobs N] [--tie-break fifo|lifo]
+//               [--trace-out PATH] [--metrics-out PATH] [--audit-out PATH]
 //
 // Examples:
 //   mnp_sim_cli --rows 20 --cols 20 --segments 5            # the Fig.-8 run
@@ -54,10 +54,16 @@ namespace {
       << "  --jobs N                         sweep worker threads (default: \n"
       << "                                   MNP_SWEEP_JOBS, else 1; results\n"
       << "                                   are identical for any N)\n"
+      << "  --tie-break fifo|lifo            same-timestamp event order\n"
+      << "                                   (default fifo; flip + --audit-out\n"
+      << "                                   to hunt order-sensitive logic)\n"
       << "  --trace-out PATH                 write a Perfetto/Chrome trace JSON\n"
       << "                                   (sweeps trace the first seed)\n"
       << "  --metrics-out PATH               write the run-manifest JSON\n"
-      << "                                   (config, seeds, metrics snapshot)\n";
+      << "                                   (config, seeds, metrics snapshot)\n"
+      << "  --audit-out PATH                 run the determinism auditor and\n"
+      << "                                   write its state-hash log (diff two\n"
+      << "                                   with mnp_bisect)\n";
   std::exit(2);
 }
 
@@ -140,8 +146,17 @@ int main(int argc, char** argv) {
       runs = std::stoul(need_value(i));
     } else if (!std::strcmp(arg, "--jobs")) {
       jobs = std::stoul(need_value(i));
+    } else if (!std::strcmp(arg, "--tie-break")) {
+      const std::string v = need_value(i);
+      if (v == "fifo") {
+        cfg.tie_break = sim::TieBreak::kFifo;
+      } else if (v == "lifo") {
+        cfg.tie_break = sim::TieBreak::kLifo;
+      } else {
+        usage(argv[0]);
+      }
     } else if (obs_cli.parse_arg(argc, argv, i)) {
-      // --trace-out / --metrics-out consumed.
+      // --trace-out / --metrics-out / --audit-out consumed.
     } else {
       usage(argv[0]);
     }
@@ -155,6 +170,7 @@ int main(int argc, char** argv) {
     harness::SweepOptions options;
     options.jobs = jobs;
     harness::Observation observation;
+    observation.with_audit = obs_cli.wants_audit();
     if (obs_cli.enabled()) options.observe = &observation;
     const auto sweep = harness::run_sweep(cfg, runs, cfg.seed, options);
     if (obs_cli.enabled() &&
@@ -180,6 +196,7 @@ int main(int argc, char** argv) {
   }
 
   harness::Observation observation;
+  observation.with_audit = obs_cli.wants_audit();
   const auto result = harness::run_experiment(
       cfg, obs_cli.enabled() ? &observation : nullptr);
   if (!result.scenario_error.empty()) return 2;

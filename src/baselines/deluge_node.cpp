@@ -6,6 +6,7 @@
 
 #include "boot/progress_journal.hpp"
 #include "node/stats.hpp"
+#include "sim/audit.hpp"
 
 namespace mnp::baselines {
 
@@ -86,6 +87,22 @@ void DelugeNode::reset_for_reboot() {
   tx_page_ = 0;
   tx_vector_ = util::Bitmap{};
   tx_cursor_ = 0;
+}
+
+std::uint64_t DelugeNode::audit_digest() const {
+  std::uint64_t h = sim::kFnvOffset;
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(state_));
+  h = sim::fnv1a(h, version_);
+  h = sim::fnv1a(h, known_pages_);
+  h = sim::fnv1a(h, complete_pages_);
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(tau_));
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(heard_consistent_));
+  h = sim::fnv1a(h, missing_for_page_);
+  h = sim::fnv1a(h, rx_source_);
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(request_rounds_));
+  h = sim::fnv1a(h, tx_page_);
+  h = sim::fnv1a(h, tx_cursor_);
+  return h;
 }
 
 // --------------------------------------------------------------------------

@@ -70,6 +70,7 @@ class DelugeNode final : public node::Application {
   /// Power cycle: timers and Trickle/RX/TX state die; start() replays the
   /// page journal (if enabled) from the surviving EEPROM.
   void reset_for_reboot() override;
+  std::uint64_t audit_digest() const override;
 
   State state() const { return state_; }
   std::uint16_t complete_pages() const { return complete_pages_; }

@@ -6,6 +6,7 @@
 
 #include "boot/progress_journal.hpp"
 #include "node/stats.hpp"
+#include "sim/audit.hpp"
 
 namespace mnp::baselines {
 
@@ -122,6 +123,21 @@ void MoapNode::reset_for_reboot() {
   publish_interval_hi_ = 0;
 }
 
+std::uint64_t MoapNode::audit_digest() const {
+  std::uint64_t h = sim::kFnvOffset;
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(state_));
+  h = sim::fnv1a(h, version_);
+  h = sim::fnv1a(h, total_packets_);
+  h = sim::fnv1a(h, have_count_);
+  h = sim::fnv1a(h, journaled_prefix_);
+  h = sim::fnv1a(h, source_);
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(stalled_idles_));
+  h = sim::fnv1a(h, saw_subscriber_ ? 1u : 0u);
+  h = sim::fnv1a(h, stream_cursor_);
+  h = sim::fnv1a(h, retransmit_queue_.size());
+  return h;
+}
+
 std::size_t MoapNode::payload_len(std::uint16_t pkt_id) const {
   const std::size_t offset =
       static_cast<std::size_t>(pkt_id) * config_.payload_bytes;
@@ -188,12 +204,24 @@ void MoapNode::handle_subscribe(const Packet& pkt,
 }
 
 void MoapNode::begin_streaming() {
+  // A deferred publish (handle_data's concurrent-sender mitigation) may
+  // still be pending from Publishing; streaming supersedes it.
+  publish_timer_.cancel();
+  subscribe_window_timer_.cancel();
   state_ = State::kStreaming;
   saw_subscriber_ = false;  // future publishes need fresh interest
   node_->stats().on_became_sender(node_->id(), node_->now());
   stream_cursor_ = 0;
   retransmit_queue_.clear();
   pump_timer_ = node_->schedule(config_.pump_interval, [this] { pump_stream(); });
+}
+
+void MoapNode::end_repair() {
+  // pump_stream re-arms itself even when Repair has nothing queued, so
+  // the pump must die with the phase or it would tick on in Publishing.
+  pump_timer_.cancel();
+  state_ = State::kPublishing;
+  schedule_publish(/*reset_interval=*/false);
 }
 
 void MoapNode::pump_stream() {
@@ -232,10 +260,8 @@ void MoapNode::pump_stream() {
       retransmit_queue_.empty() && node_->mac().idle()) {
     // First pass done: answer NACKs until the neighborhood goes quiet.
     state_ = State::kRepair;
-    repair_timer_ = node_->schedule(config_.repair_idle_timeout, [this] {
-      state_ = State::kPublishing;
-      schedule_publish(/*reset_interval=*/false);
-    });
+    repair_timer_ = node_->schedule(config_.repair_idle_timeout,
+                                    [this] { end_repair(); });
     return;
   }
   pump_timer_ = node_->schedule(config_.pump_interval, [this] { pump_stream(); });
@@ -252,10 +278,8 @@ void MoapNode::handle_nack(const Packet& pkt, const net::MoapNackMsg& msg) {
   }
   if (state_ == State::kRepair) {
     repair_timer_.cancel();
-    repair_timer_ = node_->schedule(config_.repair_idle_timeout, [this] {
-      state_ = State::kPublishing;
-      schedule_publish(/*reset_interval=*/false);
-    });
+    repair_timer_ = node_->schedule(config_.repair_idle_timeout,
+                                    [this] { end_repair(); });
     pump_timer_.cancel();
     pump_timer_ = node_->schedule(config_.pump_interval, [this] { pump_stream(); });
   }

@@ -67,6 +67,7 @@ class MoapNode final : public node::Application {
   /// Power cycle: timers and all pub/sub state die; start() replays the
   /// chunk journal (if enabled) from the surviving EEPROM.
   void reset_for_reboot() override;
+  std::uint64_t audit_digest() const override;
 
   /// Journal granularity: one record per this many contiguous packets.
   static constexpr std::uint32_t kJournalChunkPackets = 64;
@@ -83,6 +84,9 @@ class MoapNode final : public node::Application {
   void handle_nack(const net::Packet& pkt, const net::MoapNackMsg& msg);
 
   void begin_streaming();
+  /// Repair phase over (idle timeout): back to Publishing with a clean
+  /// timer slate.
+  void end_repair();
   void pump_stream();
   void maybe_nack();
   void rx_idle();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "node/stats.hpp"
+#include "sim/audit.hpp"
 
 namespace mnp::baselines {
 
@@ -80,6 +81,19 @@ void XnpNode::reset_for_reboot() {
   quiet_rounds_ = 0;
   round_had_requests_ = false;
   done_ = false;
+}
+
+std::uint64_t XnpNode::audit_digest() const {
+  std::uint64_t h = sim::kFnvOffset;
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(phase_));
+  h = sim::fnv1a(h, total_packets_);
+  h = sim::fnv1a(h, have_count_);
+  h = sim::fnv1a(h, cursor_);
+  h = sim::fnv1a(h, fix_queue_.size());
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(query_round_));
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(quiet_rounds_));
+  h = sim::fnv1a(h, done_ ? 1u : 0u);
+  return h;
 }
 
 bool XnpNode::has_complete_image() const {

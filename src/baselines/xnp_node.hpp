@@ -52,6 +52,7 @@ class XnpNode final : public node::Application {
   /// Power cycle: timers and receiver/base session state die; XNP has no
   /// progress journal (its single-hop design predates resumability).
   void reset_for_reboot() override;
+  std::uint64_t audit_digest() const override;
 
   bool is_base() const { return static_cast<bool>(image_); }
   std::size_t packets_received() const;

@@ -13,6 +13,7 @@
 #include "node/network.hpp"
 #include "scenario/scenario_engine.hpp"
 #include "scenario/scenario_link_model.hpp"
+#include "sim/audit.hpp"
 #include "sim/simulator.hpp"
 
 namespace mnp::harness {
@@ -84,6 +85,30 @@ void install_protocol(const ExperimentConfig& cfg, node::Network& network,
   }
 }
 
+/// Feeds per-node Application::audit_digest values to the determinism
+/// auditor. Stack-local to run_experiment: installed before boot (but
+/// after install_protocol, because it caches the application pointers —
+/// reboots reuse the same Application object, so the cache stays valid),
+/// detached before the Network dies.
+class NetworkAuditProbe final : public sim::AuditProbe {
+ public:
+  explicit NetworkAuditProbe(node::Network& network) {
+    apps_.reserve(network.size());
+    for (net::NodeId id = 0; id < network.size(); ++id) {
+      apps_.push_back(network.node(id).application());
+    }
+  }
+  std::size_t node_count() const override { return apps_.size(); }
+  void node_digests(std::uint64_t* out) override {
+    for (std::size_t i = 0; i < apps_.size(); ++i) {
+      out[i] = apps_[i] != nullptr ? apps_[i]->audit_digest() : 0;
+    }
+  }
+
+ private:
+  std::vector<const node::Application*> apps_;
+};
+
 }  // namespace
 
 RunResult run_experiment(const ExperimentConfig& cfg) {
@@ -105,6 +130,7 @@ RunResult run_experiment(const ExperimentConfig& config,
   }
 
   sim::Simulator sim(cfg.seed);
+  sim.scheduler().set_tie_break(cfg.tie_break);
   net::Topology topo = net::Topology::grid(cfg.rows, cfg.cols, cfg.spacing_ft);
 
   const auto make_links =
@@ -165,6 +191,26 @@ RunResult run_experiment(const ExperimentConfig& config,
       cfg.program_id, cfg.program_bytes, image_packets_per_segment(cfg),
       image_payload_bytes(cfg));
   install_protocol(cfg, network, image);
+
+  // Determinism audit: the scheduler reports a state hash at every event
+  // boundary. Installed after the applications exist (the probe caches
+  // their pointers) but before boot so even the boot jitter is covered;
+  // the probe and the scheduler hook are detached before `network` and
+  // `sim` go out of scope (the Audit itself lives in the Observation).
+  const bool with_audit = observation != nullptr && observation->with_audit;
+  std::optional<NetworkAuditProbe> audit_probe;
+  if (with_audit) {
+    observation->audit.reset();
+    audit_probe.emplace(network);
+    observation->audit.set_probe(&*audit_probe);
+    sim.scheduler().set_audit(&observation->audit);
+  }
+  const auto detach_audit = [&] {
+    if (!with_audit) return;
+    observation->audit.set_probe(nullptr);
+    sim.scheduler().set_audit(nullptr);
+  };
+
   network.boot_all(cfg.boot_jitter);
 
   std::optional<scenario::ScenarioEngine> engine;
@@ -176,6 +222,7 @@ RunResult run_experiment(const ExperimentConfig& config,
                    scenario_error.c_str());
       RunResult bad;
       bad.scenario_error = std::move(scenario_error);
+      detach_audit();
       return bad;
     }
   }
@@ -352,6 +399,7 @@ RunResult run_experiment(const ExperimentConfig& config,
     auto stored = network.node(id).eeprom().read(0, image->total_bytes());
     result.nodes[id].image_verified = image->matches(stored);
   }
+  detach_audit();
   return result;
 }
 

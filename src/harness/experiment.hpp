@@ -14,6 +14,7 @@
 #include "net/channel.hpp"
 #include "net/link_model.hpp"
 #include "scenario/scenario.hpp"
+#include "sim/scheduler.hpp"
 
 namespace mnp::harness {
 
@@ -56,6 +57,10 @@ struct ExperimentConfig {
   std::uint64_t seed = 1;
   sim::Time max_sim_time = sim::hours(4);
   sim::Time boot_jitter = sim::msec(500);
+  /// Same-timestamp event ordering. Production runs keep FIFO; the audit
+  /// toolchain re-runs a seed under LIFO and diffs the state-hash streams
+  /// to expose tie-break-sensitive protocol logic (DESIGN.md section 12).
+  sim::TieBreak tie_break = sim::TieBreak::kFifo;
 
   // --- protocol knobs ------------------------------------------------------
   core::MnpConfig mnp;

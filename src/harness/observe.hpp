@@ -16,6 +16,7 @@
 #include "harness/experiment.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_export.hpp"
+#include "sim/audit.hpp"
 #include "trace/event_log.hpp"
 
 namespace mnp::harness {
@@ -44,10 +45,23 @@ struct Observation {
   /// Node count of the observed network (run_experiment fills it in; the
   /// trace track layout needs it).
   std::size_t node_count = 0;
+  /// Run the determinism auditor (DESIGN.md section 12): the scheduler
+  /// records a state hash per executed event into `audit`. Off by default;
+  /// audited runs pay one node-digest sweep per event.
+  bool with_audit = false;
+  sim::Audit audit;
 };
 
 /// Writes the Perfetto/Chrome trace-event JSON for an observed run.
 void write_trace_json(std::ostream& os, const Observation& observation);
+
+/// Writes the audit log behind --audit-out: a "# mnp-audit v1" header, one
+/// meta line (seed, node count, tie-break, record count, final chain) and
+/// one "rec <index> <time> <node> <pending> <nodes> <chain>" line per
+/// executed event, hashes in fixed-width hex. `mnp_bisect` diffs two of
+/// these to locate the first diverging event.
+void write_audit_log(std::ostream& os, const ExperimentConfig& cfg,
+                     const Observation& observation);
 
 /// Writes the run-manifest JSON: schema_version, git describe, the
 /// experiment configuration, the seed range, dropped_events and the full
@@ -61,11 +75,18 @@ void write_run_manifest(std::ostream& os, const ExperimentConfig& cfg,
 struct ObsCli {
   std::string trace_path;
   std::string metrics_path;
+  std::string audit_path;
 
-  /// Consumes "--trace-out PATH" or "--metrics-out PATH" at argv[i];
-  /// returns true (with `i` advanced past the value) when matched.
+  /// Consumes "--trace-out PATH", "--metrics-out PATH" or
+  /// "--audit-out PATH" at argv[i]; returns true (with `i` advanced past
+  /// the value) when matched.
   bool parse_arg(int argc, char** argv, int& i);
-  bool enabled() const { return !trace_path.empty() || !metrics_path.empty(); }
+  bool enabled() const {
+    return !trace_path.empty() || !metrics_path.empty() || !audit_path.empty();
+  }
+  /// The run must enable Observation::with_audit when an audit log was
+  /// requested.
+  bool wants_audit() const { return !audit_path.empty(); }
 
   /// Writes whichever files were requested. Returns false (after a
   /// message on stderr) when a file cannot be opened.

@@ -41,13 +41,17 @@ void accumulate(SweepResult& sweep, RunResult r, bool keep_raw) {
   if (keep_raw) sweep.raw.push_back(std::move(r));
 }
 
-/// Seeds an empty per-run Observation mirroring the sweep-level one; only
-/// the first seed records a trace, so the merged dropped_events count is
-/// that representative trace's and the metrics stay trace-independent.
-Observation seed_observation(const Observation& target, bool first) {
-  Observation per_run(target.log.capacity());
-  per_run.with_trace = target.with_trace && first;
-  per_run.energy_sample_interval = target.energy_sample_interval;
+/// Seeds an empty per-run Observation mirroring the sweep-level one (or a
+/// bare audit-only one when the sweep is unobserved); only the first seed
+/// records a trace, so the merged dropped_events count is that
+/// representative trace's and the metrics stay trace-independent.
+Observation seed_observation(const Observation* target, bool first,
+                             bool audit) {
+  Observation per_run(target != nullptr ? target->log.capacity() : 1);
+  per_run.with_trace = target != nullptr && target->with_trace && first;
+  per_run.energy_sample_interval =
+      target != nullptr ? target->energy_sample_interval : 0;
+  per_run.with_audit = audit || (target != nullptr && target->with_audit);
   return per_run;
 }
 
@@ -57,6 +61,7 @@ void merge_observation(Observation& into, Observation&& from, bool first) {
     into.log = std::move(from.log);
     into.counters = std::move(from.counters);
     into.node_count = from.node_count;
+    if (from.with_audit) into.audit = std::move(from.audit);
     return;
   }
   // All seeds run the same config, so the registries share one schema.
@@ -107,13 +112,20 @@ SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
       resolve_sweep_jobs(options.jobs), runs,
       hw ? static_cast<std::size_t>(hw) : 1, options.allow_oversubscribe);
 
+  const bool audit = options.audit_chains != nullptr;
+  if (audit) options.audit_chains->assign(runs, 0);
+  const bool per_run_obs = options.observe != nullptr || audit;
+
   if (jobs <= 1) {
     for (std::size_t i = 0; i < runs; ++i) {
       cfg.seed = first_seed + i;
-      if (options.observe) {
-        Observation per_run = seed_observation(*options.observe, i == 0);
+      if (per_run_obs) {
+        Observation per_run = seed_observation(options.observe, i == 0, audit);
         RunResult r = run_experiment(cfg, &per_run);
-        merge_observation(*options.observe, std::move(per_run), i == 0);
+        if (audit) (*options.audit_chains)[i] = per_run.audit.chain();
+        if (options.observe) {
+          merge_observation(*options.observe, std::move(per_run), i == 0);
+        }
         accumulate(sweep, std::move(r), options.keep_raw);
       } else {
         accumulate(sweep, run_experiment(cfg), options.keep_raw);
@@ -129,10 +141,10 @@ SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
   // statistics are bit-identical to the jobs=1 path.
   std::vector<RunResult> results(runs);
   std::vector<Observation> observations;
-  if (options.observe) {
+  if (per_run_obs) {
     observations.reserve(runs);
     for (std::size_t i = 0; i < runs; ++i) {
-      observations.push_back(seed_observation(*options.observe, i == 0));
+      observations.push_back(seed_observation(options.observe, i == 0, audit));
     }
   }
   std::atomic<std::size_t> next{0};
@@ -147,7 +159,7 @@ SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
       run_cfg.seed = first_seed + i;
       try {
         results[i] = run_experiment(
-            run_cfg, options.observe ? &observations[i] : nullptr);
+            run_cfg, per_run_obs ? &observations[i] : nullptr);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -165,6 +177,7 @@ SweepResult run_sweep(ExperimentConfig cfg, std::size_t runs,
   // Seed-order merge on the calling thread: the same accumulation
   // sequence as jobs=1, hence byte-identical exports.
   for (std::size_t i = 0; i < runs; ++i) {
+    if (audit) (*options.audit_chains)[i] = observations[i].audit.chain();
     if (options.observe) {
       merge_observation(*options.observe, std::move(observations[i]), i == 0);
     }

@@ -53,6 +53,12 @@ struct SweepOptions {
   /// output for any `jobs` value) and the first seed keeps its event log
   /// and counter tracks as the sweep's representative trace.
   Observation* observe = nullptr;
+  /// When set, every run is audited (sim::Audit) and the final state-hash
+  /// chain of each seed lands here in seed order — the same values for any
+  /// `jobs` count, which is exactly what the determinism tests assert.
+  /// Independent of `observe`; when both are set the first seed's full
+  /// audit record stream also survives in observe->audit.
+  std::vector<std::uint64_t>* audit_chains = nullptr;
 };
 
 /// Runs `cfg` once per seed in [first_seed, first_seed + runs) and

@@ -6,6 +6,7 @@
 
 #include "boot/progress_journal.hpp"
 #include "node/stats.hpp"
+#include "sim/audit.hpp"
 #include "util/log.hpp"
 
 namespace mnp::core {
@@ -139,6 +140,23 @@ void MnpNode::reset_for_reboot() {
   neighborhood_complete_ = false;
   rebooted_ = false;
   // battery_level_ is physical, not RAM: it survives the power cycle.
+}
+
+std::uint64_t MnpNode::audit_digest() const {
+  std::uint64_t h = sim::kFnvOffset;
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(state_));
+  h = sim::fnv1a(h, program_id_);
+  h = sim::fnv1a(h, known_segments_);
+  h = sim::fnv1a(h, rvd_seg_);
+  h = sim::fnv1a(h, missing_for_seg_);
+  h = sim::fnv1a(h, static_cast<std::uint64_t>(parent_));
+  h = sim::fnv1a(h, downloading_seg_);
+  h = sim::fnv1a(h, adv_seg_);
+  h = sim::fnv1a(h, req_ctr_);
+  h = sim::fnv1a(h, requesters_.size());
+  h = sim::fnv1a(h, forward_cursor_);
+  h = sim::fnv1a(h, fail_count_);
+  return h;
 }
 
 const char* MnpNode::state_cname(State s) {

@@ -70,6 +70,7 @@ class MnpNode final : public node::Application {
   /// state; the next start() replays the progress journal (if enabled)
   /// from the surviving EEPROM.
   void reset_for_reboot() override;
+  std::uint64_t audit_digest() const override;
 
   // --- introspection (tests, benches) ------------------------------------
   State state() const { return state_; }

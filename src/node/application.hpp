@@ -4,6 +4,8 @@
 // packets here.
 #pragma once
 
+#include <cstdint>
+
 #include "net/packet.hpp"
 
 namespace mnp::node {
@@ -31,6 +33,13 @@ class Application {
   /// that journal progress there recover it in start(). The default is a
   /// no-op for applications without timers or state.
   virtual void reset_for_reboot() {}
+
+  /// FNV-1a fold of the protocol-visible state — the state-machine enum,
+  /// progress counters and journal cursor — for the determinism auditor
+  /// (sim::Audit, DESIGN.md section 12). Must be a pure function of
+  /// protocol state: no addresses, no wall-clock, nothing allocation-order
+  /// dependent. Applications that opt out report a constant.
+  virtual std::uint64_t audit_digest() const { return 0; }
 };
 
 }  // namespace mnp::node

@@ -1,0 +1,74 @@
+#include "sim/audit.hpp"
+
+#include <algorithm>
+
+namespace mnp::sim {
+
+void Audit::on_event(Time now, std::uint64_t pending_sig,
+                     std::uint64_t index) {
+  std::int32_t changed_node = -1;
+  const bool sweep =
+      probe_ != nullptr &&
+      (index % node_sweep_stride_ == 0 || digests_.empty());
+  if (sweep) {
+    const std::size_t n = probe_->node_count();
+    scratch_.resize(n);
+    probe_->node_digests(scratch_.data());
+    if (digests_.size() != n) {
+      // First observation (or the probe changed): seed the cache without
+      // attributing the initial state to any node.
+      digests_ = scratch_;
+      nodes_sig_ = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        nodes_sig_ ^= audit_mix(i, digests_[i]);
+      }
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t d = scratch_[i];
+        if (d == digests_[i]) continue;
+        nodes_sig_ ^= audit_mix(i, digests_[i]) ^ audit_mix(i, d);
+        digests_[i] = d;
+        if (changed_node < 0) changed_node = static_cast<std::int32_t>(i);
+      }
+    }
+  }
+  chain_ = fnv1a(chain_, static_cast<std::uint64_t>(now));
+  chain_ = fnv1a(chain_, pending_sig);
+  chain_ = fnv1a(chain_, nodes_sig_);
+  records_.push_back(AuditRecord{index, now, changed_node, pending_sig,
+                                 nodes_sig_, chain_});
+}
+
+void Audit::reset() {
+  digests_.clear();
+  scratch_.clear();
+  nodes_sig_ = 0;
+  chain_ = kFnvOffset;
+  records_.clear();
+}
+
+AuditDivergence first_divergence(const std::vector<AuditRecord>& a,
+                                 const std::vector<AuditRecord>& b) {
+  AuditDivergence d;
+  const std::size_t n = std::min(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    // The chain is a running hash, so the first chain difference IS the
+    // first record difference.
+    if (a[i].chain == b[i].chain) continue;
+    d.diverged = true;
+    d.index = i;
+    d.a = a[i];
+    d.b = b[i];
+    return d;
+  }
+  if (a.size() != b.size()) {
+    d.diverged = true;
+    d.length_mismatch = true;
+    d.index = n;
+    if (a.size() > n) d.a = a[n];
+    if (b.size() > n) d.b = b[n];
+  }
+  return d;
+}
+
+}  // namespace mnp::sim

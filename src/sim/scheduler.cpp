@@ -5,14 +5,21 @@
 #include <limits>
 #include <utility>
 
+#include "sim/audit.hpp"
+
 namespace mnp::sim {
 
 void Scheduler::push(Time when, Action action, std::uint32_t slot,
                      std::uint32_t gen) {
   if (when < now_) when = now_;
-  heap_.push_back(Entry{when, next_seq_++, slot, gen, std::move(action)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  const std::uint64_t seq = next_seq_++;
+  const std::uint64_t tag =
+      fnv1a(fnv1a(kFnvOffset, static_cast<std::uint64_t>(when)), seq);
+  heap_.push_back(Entry{when, seq, slot, gen, tag, std::move(action)});
+  std::push_heap(heap_.begin(), heap_.end(), later());
   ++live_;
+  pending_sig_ ^= tag;
+  if (slot != kNoSlot) slots_[slot].tag = tag;
 }
 
 EventHandle Scheduler::schedule_at(Time when, Action action) {
@@ -50,13 +57,16 @@ void Scheduler::cancel_slot(std::uint32_t slot, std::uint32_t gen) {
   s.cancelled = true;
   --live_;
   ++tombstones_;
+  // The entry leaves the live set now; sweeping its tombstone later must
+  // not touch the signature again.
+  pending_sig_ ^= s.tag;
   // Lazy-deletion bound: once tombstones dominate, sweep them all at once
   // so a cancel-heavy workload cannot grow the heap past 2x the live set.
   if (tombstones_ > 64 && tombstones_ * 2 > heap_.size()) compact();
 }
 
 Scheduler::Entry Scheduler::take_top() {
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  std::pop_heap(heap_.begin(), heap_.end(), later());
   Entry e = std::move(heap_.back());
   heap_.pop_back();
   return e;
@@ -89,7 +99,13 @@ void Scheduler::compact() {
         return true;
       });
   heap_.erase(keep_end, heap_.end());
-  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  std::make_heap(heap_.begin(), heap_.end(), later());
+}
+
+void Scheduler::set_tie_break(TieBreak tie_break) {
+  if (tie_break == tie_break_) return;
+  tie_break_ = tie_break;
+  std::make_heap(heap_.begin(), heap_.end(), later());
 }
 
 bool Scheduler::empty() {
@@ -110,11 +126,13 @@ std::uint64_t Scheduler::run_until(Time until) {
     Entry e = take_top();
     release_slot(e);
     --live_;
+    pending_sig_ ^= e.tag;  // the entry leaves the pending set as it fires
     assert(e.when >= now_);
     now_ = e.when;
     ++executed_;
     ++count;
     e.action();
+    if (audit_ != nullptr) audit_->on_event(now_, pending_sig_, executed_ - 1);
   }
   // The window [now_, until] is fully processed: park the clock at the
   // horizon so repeated relative windows (run_until(now() + dt)) make
@@ -132,10 +150,12 @@ bool Scheduler::step() {
   Entry e = take_top();
   release_slot(e);
   --live_;
+  pending_sig_ ^= e.tag;
   assert(e.when >= now_);
   now_ = e.when;
   ++executed_;
   e.action();
+  if (audit_ != nullptr) audit_->on_event(now_, pending_sig_, executed_ - 1);
   return true;
 }
 

@@ -11,6 +11,14 @@
 // zero bookkeeping allocations. Cancelled events are tombstones skipped
 // when popped; when more than half the queue is tombstones the heap is
 // compacted in one sweep, so cancelled-timer-heavy runs stay O(live).
+//
+// Determinism auditing (DESIGN.md section 12): the scheduler maintains an
+// incremental XOR signature of the live pending set (one FNV-1a tag per
+// queued entry) and, when an Audit is attached, reports it at every event
+// boundary. The same-time tie-break (FIFO by insertion sequence) can be
+// flipped to LIFO with set_tie_break — re-running a seed under the
+// opposite tie-break and diffing the audit chains exposes event pairs
+// whose relative order silently changes protocol state.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +30,14 @@
 
 namespace mnp::sim {
 
+class Audit;
 class Scheduler;
+
+/// Execution order of same-timestamp events: kFifo runs them in insertion
+/// order (the production default), kLifo in reverse. Both are total orders,
+/// so either way a run is fully deterministic — flipping between them is
+/// the audit toolchain's probe for order-sensitive protocol logic.
+enum class TieBreak : std::uint8_t { kFifo, kLifo };
 
 /// Handle to a scheduled event. Copyable; all copies refer to the same
 /// event. A default-constructed handle refers to nothing. Handles must not
@@ -88,6 +103,19 @@ class Scheduler {
   /// Time of the next live event, or kNever if none. Prunes tombstones.
   Time next_event_time();
 
+  /// Switches the same-time tie-break. Safe at any point: the heap is
+  /// re-ordered under the new comparator.
+  void set_tie_break(TieBreak tie_break);
+  TieBreak tie_break() const { return tie_break_; }
+
+  /// Attaches (or detaches, with nullptr) the determinism auditor; it is
+  /// called after every executed event. Not owned.
+  void set_audit(Audit* audit) { audit_ = audit; }
+
+  /// XOR of per-entry FNV-1a tags over the live pending set. Two runs with
+  /// identical histories have identical signatures at every boundary.
+  std::uint64_t pending_signature() const { return pending_sig_; }
+
  private:
   friend class EventHandle;
   static constexpr std::uint32_t kNoSlot = 0xFFFFFFFFu;
@@ -97,6 +125,7 @@ class Scheduler {
     std::uint64_t seq;
     std::uint32_t slot;  // kNoSlot for fire-and-forget posts
     std::uint32_t gen;
+    std::uint64_t tag;  // FNV-1a of (when, seq); XORed into pending_sig_
     Action action;
   };
   /// Cancellation state, pooled and recycled; `gen` disambiguates handles
@@ -104,13 +133,16 @@ class Scheduler {
   struct Slot {
     std::uint32_t gen = 0;
     bool cancelled = false;
+    std::uint64_t tag = 0;  // tag of the current tenant, for cancellation
   };
   struct Later {
+    TieBreak tie_break;
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+      return tie_break == TieBreak::kFifo ? a.seq > b.seq : a.seq < b.seq;
     }
   };
+  Later later() const { return Later{tie_break_}; }
 
   void push(Time when, Action action, std::uint32_t slot, std::uint32_t gen);
   Entry take_top();
@@ -136,6 +168,9 @@ class Scheduler {
   std::uint64_t executed_ = 0;
   std::size_t live_ = 0;        // queued, not cancelled
   std::size_t tombstones_ = 0;  // queued, cancelled, not yet swept
+  TieBreak tie_break_ = TieBreak::kFifo;
+  std::uint64_t pending_sig_ = 0;  // XOR of live entries' tags
+  Audit* audit_ = nullptr;
 };
 
 inline bool EventHandle::pending() const {

@@ -407,7 +407,250 @@ TEST(Hygiene, FlagsRawAllocationOutsideThePool) {
   EXPECT_TRUE(lint::check_hygiene(deleted, allow).empty());
 }
 
+// --- rule family 4: codec symmetry ------------------------------------------
+
+TEST(CodecSymmetry, AcceptsMatchingWriterAndReaderSequences) {
+  const lint::SourceFile file{
+      "src/net/codec.cpp",
+      "void EncodeVisitor::operator()(const AdvMsg& m) const {\n"
+      "  w.u8(m.program_id);\n"
+      "  w.u16(m.segment);\n"
+      "  w.bitmap(m.missing);\n"
+      "}\n"
+      "bool decode_payload(Reader& r, Packet& out) {\n"
+      "  AdvMsg m;\n"
+      "  return r.u8(m.program_id) && r.u16(m.segment) && r.bitmap(m.missing);\n"
+      "}\n"};
+  const auto diags = lint::check_codec_symmetry(file);
+  EXPECT_TRUE(diags.empty()) << diags_str(diags);
+}
+
+TEST(CodecSymmetry, FlagsFieldWidthMismatch) {
+  // The seeded bug: encoder writes u16 where the decoder reads u32 — the
+  // wire format silently desynchronizes on every later field.
+  const lint::SourceFile file{
+      "src/net/codec.cpp",
+      "void EncodeVisitor::operator()(const ReqMsg& m) const {\n"
+      "  w.u8(m.seg);\n"
+      "  w.u16(m.source);\n"
+      "}\n"
+      "bool decode_payload(Reader& r, Packet& out) {\n"
+      "  ReqMsg m;\n"
+      "  return r.u8(m.seg) && r.u32(m.source);\n"
+      "}\n"};
+  const auto diags = lint::check_codec_symmetry(file);
+  EXPECT_TRUE(has_diag(diags, "codec-symmetry",
+                       "field 2: encoder writes u16"))
+      << diags_str(diags);
+}
+
+TEST(CodecSymmetry, FlagsFieldCountMismatch) {
+  const lint::SourceFile file{
+      "src/net/codec.cpp",
+      "void EncodeVisitor::operator()(const DataMsg& m) const {\n"
+      "  w.u8(m.seg);\n"
+      "  w.u16(m.offset);\n"
+      "  w.bytes(m.payload);\n"
+      "}\n"
+      "bool decode_payload(Reader& r, Packet& out) {\n"
+      "  DataMsg m;\n"
+      "  return r.u8(m.seg) && r.u16(m.offset);\n"  // forgot the payload
+      "}\n"};
+  const auto diags = lint::check_codec_symmetry(file);
+  EXPECT_TRUE(has_diag(diags, "codec-symmetry",
+                       "encoder writes 3 fields but decoder reads 2"))
+      << diags_str(diags);
+}
+
+TEST(CodecSymmetry, FlagsOneSidedMessages) {
+  const lint::SourceFile file{
+      "src/net/codec.cpp",
+      "void EncodeVisitor::operator()(const PingMsg& m) const {\n"
+      "  w.u8(m.token);\n"
+      "}\n"
+      "bool decode_payload(Reader& r, Packet& out) {\n"
+      "  PongMsg m;\n"
+      "  return r.u8(m.token);\n"
+      "}\n"};
+  const auto diags = lint::check_codec_symmetry(file);
+  EXPECT_TRUE(has_diag(diags, "codec-symmetry",
+                       "'PingMsg' has an encoder overload but no "
+                       "decode_payload case"))
+      << diags_str(diags);
+  EXPECT_TRUE(has_diag(diags, "codec-symmetry",
+                       "'PongMsg' has a decode_payload case but no "
+                       "encoder overload"))
+      << diags_str(diags);
+}
+
+// --- rule family 5: timer discipline ----------------------------------------
+
+TEST(TimerDiscipline, FlagsTimerLeakedAcrossTransition) {
+  // The classic stale-timer bug: Run arms poll_timer_, the Run -> Sleep
+  // edge neither cancels nor re-arms it, and the expiry later fires into
+  // a state that never expected it.
+  const lint::SourceFile file{
+      "src/toy.cpp",
+      "void Toy::start() {\n"
+      "  assert(state_ == State::kIdle);\n"
+      "  change_state(State::kRun);\n"
+      "  poll_timer_ = scheduler_.schedule_after(50, [this] {});\n"
+      "}\n"
+      "void Toy::on_quiet() {\n"
+      "  if (state_ != State::kRun) return;\n"
+      "  change_state(State::kSleep);\n"  // poll_timer_ still pending
+      "}\n"};
+  const auto diags =
+      lint::check_timer_discipline(file, tiny_spec(), lint::Allowlist{});
+  EXPECT_TRUE(has_diag(diags, "timer-discipline",
+                       "'poll_timer_' is armed in state Run"))
+      << diags_str(diags);
+  EXPECT_TRUE(has_diag(diags, "timer-discipline", "Run -> Sleep"));
+}
+
+TEST(TimerDiscipline, AcceptsCancelOnEveryOutgoingEdge) {
+  const lint::SourceFile file{
+      "src/toy.cpp",
+      "void Toy::start() {\n"
+      "  assert(state_ == State::kIdle);\n"
+      "  change_state(State::kRun);\n"
+      "  poll_timer_ = scheduler_.schedule_after(50, [this] {});\n"
+      "}\n"
+      "void Toy::on_quiet() {\n"
+      "  if (state_ != State::kRun) return;\n"
+      "  poll_timer_.cancel();\n"
+      "  change_state(State::kSleep);\n"
+      "}\n"};
+  const auto diags =
+      lint::check_timer_discipline(file, tiny_spec(), lint::Allowlist{});
+  EXPECT_TRUE(diags.empty()) << diags_str(diags);
+}
+
+TEST(TimerDiscipline, ExemptsTransitionInsideTheTimersOwnExpiry) {
+  // A transition inside poll_timer_'s own callback runs with the timer
+  // already fired — nothing is pending, nothing to cancel.
+  const lint::SourceFile file{
+      "src/toy.cpp",
+      "void Toy::start() {\n"
+      "  assert(state_ == State::kIdle);\n"
+      "  change_state(State::kRun);\n"
+      "  poll_timer_ = scheduler_.schedule_after(50, [this] {\n"
+      "    if (state_ != State::kRun) return;\n"
+      "    change_state(State::kSleep);\n"
+      "  });\n"
+      "}\n"};
+  const auto diags =
+      lint::check_timer_discipline(file, tiny_spec(), lint::Allowlist{});
+  EXPECT_TRUE(diags.empty()) << diags_str(diags);
+}
+
+TEST(TimerDiscipline, AllowlistedTimerSurvivesTransitions) {
+  const lint::SourceFile file{
+      "src/toy.cpp",
+      "void Toy::start() {\n"
+      "  assert(state_ == State::kIdle);\n"
+      "  change_state(State::kRun);\n"
+      "  poll_timer_ = scheduler_.schedule_after(50, [this] {});\n"
+      "}\n"
+      "void Toy::on_quiet() {\n"
+      "  if (state_ != State::kRun) return;\n"
+      "  change_state(State::kSleep);\n"
+      "}\n"};
+  const lint::Allowlist allow = lint::parse_allowlist(
+      "timer-discipline src/toy.cpp poll_timer_  # survives by design\n");
+  EXPECT_TRUE(lint::check_timer_discipline(file, tiny_spec(), allow).empty());
+}
+
+TEST(RebootReset, FlagsTimerNotCancelledByReset) {
+  const lint::SourceFile file{
+      "src/toy.cpp",
+      "void Toy::tick() {\n"
+      "  adv_timer_ = scheduler_.schedule_after(10, [this] {});\n"
+      "  req_timer_ = scheduler_.schedule_after(20, [this] {});\n"
+      "}\n"
+      "void Toy::reset_for_reboot() {\n"
+      "  adv_timer_.cancel();\n"  // req_timer_ forgotten
+      "}\n"};
+  const auto diags = lint::check_reboot_reset(file, lint::Allowlist{});
+  EXPECT_TRUE(has_diag(diags, "reboot-reset",
+                       "'req_timer_' is not cancelled by reset_for_reboot"))
+      << diags_str(diags);
+  EXPECT_FALSE(has_diag(diags, "reboot-reset", "'adv_timer_'"));
+}
+
+TEST(RebootReset, FollowsHelperCallsTransitively) {
+  const lint::SourceFile file{
+      "src/toy.cpp",
+      "void Toy::tick() {\n"
+      "  adv_timer_ = scheduler_.schedule_after(10, [this] {});\n"
+      "  req_timer_ = scheduler_.schedule_after(20, [this] {});\n"
+      "}\n"
+      "void Toy::stop_timers() {\n"
+      "  adv_timer_.cancel();\n"
+      "  req_timer_.cancel();\n"
+      "}\n"
+      "void Toy::reset_for_reboot() {\n"
+      "  stop_timers();\n"
+      "}\n"};
+  const auto diags = lint::check_reboot_reset(file, lint::Allowlist{});
+  EXPECT_TRUE(diags.empty()) << diags_str(diags);
+}
+
+TEST(RebootReset, CancelInsideAnArmedLambdaDoesNotCount) {
+  // The cancel runs when the timer fires, not during the reset itself.
+  const lint::SourceFile file{
+      "src/toy.cpp",
+      "void Toy::reset_for_reboot() {\n"
+      "  adv_timer_ = scheduler_.schedule_after(10, [this] {\n"
+      "    req_timer_.cancel();\n"
+      "  });\n"
+      "}\n"};
+  const auto diags = lint::check_reboot_reset(file, lint::Allowlist{});
+  EXPECT_TRUE(has_diag(diags, "reboot-reset", "'req_timer_'"))
+      << diags_str(diags);
+}
+
+// --- rule family 6: allowlist staleness -------------------------------------
+
+TEST(AllowlistStaleness, FlagsEntryForFileNotInTheScannedSet) {
+  const lint::Allowlist allow = lint::parse_allowlist(
+      "determinism src/gone.cpp unordered_map  # file was deleted\n");
+  const auto diags = lint::check_allowlist_staleness(
+      {{"src/other.cpp", "int x;\n"}}, allow);
+  EXPECT_TRUE(has_diag(diags, "allowlist", "not in the scanned file set"))
+      << diags_str(diags);
+}
+
+TEST(AllowlistStaleness, FlagsEntryWhoseTokenDisappeared) {
+  const lint::Allowlist allow = lint::parse_allowlist(
+      "determinism src/delta.cpp unordered_map  # refactored away\n");
+  const auto diags = lint::check_allowlist_staleness(
+      {{"src/delta.cpp", "std::map<int, int> index;\n"}}, allow);
+  EXPECT_TRUE(has_diag(diags, "allowlist", "no longer appears"))
+      << diags_str(diags);
+}
+
+TEST(AllowlistStaleness, AcceptsLiveEntries) {
+  const lint::Allowlist allow = lint::parse_allowlist(
+      "determinism src/delta.cpp unordered_map  # vetted: sorted on output\n");
+  const auto diags = lint::check_allowlist_staleness(
+      {{"src/delta.cpp", "std::unordered_map<int, int> index;\n"}}, allow);
+  EXPECT_TRUE(diags.empty()) << diags_str(diags);
+}
+
 // --- run_all ----------------------------------------------------------------
+
+TEST(RunAll, DeterminismCoversBenchAndToolsFiles) {
+  // The scan set grew beyond src/: a wall-clock call in a tool or bench
+  // harness skews measurements just as silently.
+  std::vector<lint::SourceFile> files = {
+      {"tools/mnp_lint/main.cpp", "long f() { return time(nullptr); }\n"},
+      {"bench/bench_sweep.cpp", "int g() { return std::rand(); }\n"},
+  };
+  const auto diags = lint::run_all(files, {}, lint::Allowlist{});
+  EXPECT_TRUE(has_diag(diags, "determinism", "'time'")) << diags_str(diags);
+  EXPECT_TRUE(has_diag(diags, "determinism", "'rand'"));
+}
 
 TEST(RunAll, AppliesEverySpecAndFamily) {
   std::vector<lint::SourceFile> files = {

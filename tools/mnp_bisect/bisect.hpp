@@ -1,0 +1,39 @@
+// mnp_bisect: diff two determinism-audit logs (mnp_sim_cli --audit-out)
+// and report the first diverging event — its ordinal, sim time, the node
+// whose state digest moved, which hash component disagrees and the chain
+// delta. Exit codes: 0 identical, 1 diverged, 2 usage/parse error.
+//
+// The comparison itself is sim::first_divergence, the same routine the
+// in-process audit tests use, so the CLI and the test suite can never
+// disagree about where two runs split.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/audit.hpp"
+
+namespace mnp::bisect {
+
+/// One parsed --audit-out file: the meta line plus every record.
+struct AuditLog {
+  std::uint64_t seed = 0;
+  std::size_t nodes = 0;
+  std::string tie_break;
+  std::uint64_t chain = 0;  // final chain as claimed by the meta line
+  std::vector<sim::AuditRecord> records;
+};
+
+/// Parses the "# mnp-audit v1" format. Returns false (with `error` set)
+/// on a malformed header, meta line or record, and on a meta/record
+/// mismatch (wrong event count, final chain not matching the last record).
+bool parse_audit_log(std::istream& is, AuditLog* out, std::string* error);
+
+/// Prints the comparison to `os`; returns the process exit code
+/// (0 identical, 1 diverged). `name_a`/`name_b` label the two logs.
+int report_divergence(std::ostream& os, const AuditLog& a, const AuditLog& b,
+                      const std::string& name_a, const std::string& name_b);
+
+}  // namespace mnp::bisect

@@ -1,0 +1,31 @@
+// CLI wrapper: mnp_bisect <audit-log-a> <audit-log-b>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "bisect.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::cerr << "usage: " << (argc > 0 ? argv[0] : "mnp_bisect")
+              << " <audit-log-a> <audit-log-b>\n"
+              << "Diffs two determinism-audit logs (mnp_sim_cli --audit-out)"
+              << " and reports the\nfirst diverging event."
+              << " Exit: 0 identical, 1 diverged, 2 error.\n";
+    return 2;
+  }
+  mnp::bisect::AuditLog logs[2];
+  for (int i = 0; i < 2; ++i) {
+    std::ifstream in(argv[1 + i]);
+    if (!in) {
+      std::cerr << "cannot open " << argv[1 + i] << "\n";
+      return 2;
+    }
+    std::string error;
+    if (!mnp::bisect::parse_audit_log(in, &logs[i], &error)) {
+      std::cerr << argv[1 + i] << ": " << error << "\n";
+      return 2;
+    }
+  }
+  return mnp::bisect::report_divergence(std::cout, logs[0], logs[1], "A", "B");
+}

@@ -1,0 +1,179 @@
+// Rule family: codec symmetry.
+//
+// Every wire message must encode and decode the same field sequence. The
+// encoder side is the EncodeVisitor overload set in src/net/codec.cpp
+// (`void operator()(const XMsg& m) const` writing Writer primitives); the
+// decoder side is the matching `case` in decode_payload() (declaring
+// `XMsg m;` and reading Reader primitives). Both sides are reduced to a
+// normalized op sequence — u8 / u16 / u32 / bitmap, with Writer::bytes
+// and Reader::take folded to "blob" — and diffed elementwise. Because
+// the codec chains reads with short-circuit `||`, textual order is
+// execution order on both sides.
+//
+// Findings: a field order/width mismatch, a field count mismatch, or a
+// message type with only one side implemented. The frame header (dest,
+// src, type, crc) is written outside the visitor and is out of scope.
+
+#include <algorithm>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace mnp::lint {
+
+namespace {
+
+constexpr const char* kRule = "codec-symmetry";
+
+struct Op {
+  std::string name;  // normalized: u8 / u16 / u32 / bitmap / blob
+  int line = 0;
+};
+
+struct Side {
+  std::vector<Op> ops;
+  int line = 0;  // where the encoder overload / decoder case starts
+};
+
+/// Writer/Reader primitive -> normalized op; empty when not a codec op.
+std::string normalize(const std::string& ident) {
+  if (ident == "u8" || ident == "u16" || ident == "u32" ||
+      ident == "bitmap") {
+    return ident;
+  }
+  if (ident == "bytes" || ident == "take") return "blob";
+  return "";
+}
+
+bool is_msg_ident(const Token& t) {
+  return t.ident() && t.text.size() > 3 &&
+         t.text.compare(t.text.size() - 3, 3, "Msg") == 0;
+}
+
+/// Collects normalized codec ops — method calls `x.op(` — in [begin, end).
+std::vector<Op> collect_ops(const std::vector<Token>& t, std::size_t begin,
+                            std::size_t end) {
+  std::vector<Op> ops;
+  for (std::size_t i = begin; i + 1 < end; ++i) {
+    if (!t[i].ident() || !t[i + 1].is("(")) continue;
+    if (i == 0 || !t[i - 1].is(".")) continue;
+    const std::string op = normalize(t[i].text);
+    if (!op.empty()) ops.push_back(Op{op, t[i].line});
+  }
+  return ops;
+}
+
+/// Encoder side: every `operator()(const XMsg& m) const { ... }`.
+std::map<std::string, Side> find_encoders(const std::vector<Token>& t) {
+  std::map<std::string, Side> out;
+  for (std::size_t i = 0; i + 10 < t.size(); ++i) {
+    if (!(t[i].is("operator") && t[i + 1].is("(") && t[i + 2].is(")") &&
+          t[i + 3].is("(") && t[i + 4].is("const") && is_msg_ident(t[i + 5]) &&
+          t[i + 6].is("&") && t[i + 7].ident() && t[i + 8].is(")"))) {
+      continue;
+    }
+    std::size_t k = i + 9;
+    while (t[k].is("const") || t[k].is("noexcept")) ++k;
+    if (!t[k].is("{")) continue;
+    const std::size_t end = match_delim(t, k);
+    out.emplace(t[i + 5].text,
+                Side{collect_ops(t, k + 1, end), t[i + 5].line});
+    i = end;
+  }
+  return out;
+}
+
+/// Decoder side: inside decode_payload's body, each `XMsg m;` declaration
+/// owns the ops up to the next declaration (cases are textually disjoint,
+/// so this segmentation matches the switch structure).
+std::map<std::string, Side> find_decoders(const std::vector<Token>& t) {
+  std::map<std::string, Side> out;
+  std::size_t body_begin = 0, body_end = 0;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (!(t[i].is("decode_payload") && t[i + 1].is("("))) continue;
+    std::size_t k = match_delim(t, i + 1) + 1;
+    while (t[k].is("const") || t[k].is("noexcept")) ++k;
+    if (!t[k].is("{")) continue;
+    body_begin = k + 1;
+    body_end = match_delim(t, k);
+    break;
+  }
+  if (body_begin == 0) return out;
+
+  struct Decl {
+    std::string msg;
+    std::size_t pos;
+    int line;
+  };
+  std::vector<Decl> decls;
+  for (std::size_t i = body_begin; i + 2 < body_end; ++i) {
+    if (is_msg_ident(t[i]) && t[i + 1].ident() && t[i + 2].is(";")) {
+      decls.push_back(Decl{t[i].text, i + 3, t[i].line});
+    }
+  }
+  for (std::size_t d = 0; d < decls.size(); ++d) {
+    const std::size_t seg_end =
+        d + 1 < decls.size() ? decls[d + 1].pos - 3 : body_end;
+    out.emplace(decls[d].msg,
+                Side{collect_ops(t, decls[d].pos, seg_end), decls[d].line});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_codec_symmetry(const SourceFile& file) {
+  std::vector<Diagnostic> diags;
+  const std::vector<Token> tokens = lex(file.content);
+  const std::map<std::string, Side> enc = find_encoders(tokens);
+  const std::map<std::string, Side> dec = find_decoders(tokens);
+
+  std::set<std::string> names;
+  for (const auto& [n, s] : enc) names.insert(n);
+  for (const auto& [n, s] : dec) names.insert(n);
+
+  for (const std::string& name : names) {
+    const auto ei = enc.find(name);
+    const auto di = dec.find(name);
+    if (ei == enc.end()) {
+      diags.push_back(Diagnostic{
+          kRule, file.path, di->second.line,
+          "message '" + name +
+              "' has a decode_payload case but no encoder overload"});
+      continue;
+    }
+    if (di == dec.end()) {
+      diags.push_back(Diagnostic{
+          kRule, file.path, ei->second.line,
+          "message '" + name +
+              "' has an encoder overload but no decode_payload case"});
+      continue;
+    }
+    const std::vector<Op>& w = ei->second.ops;
+    const std::vector<Op>& r = di->second.ops;
+    const std::size_t n = std::min(w.size(), r.size());
+    bool mismatched = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (w[i].name == r[i].name) continue;
+      diags.push_back(Diagnostic{
+          kRule, file.path, r[i].line,
+          "message '" + name + "' field " + std::to_string(i + 1) +
+              ": encoder writes " + w[i].name + " (line " +
+              std::to_string(w[i].line) + ") but decoder reads " +
+              r[i].name});
+      mismatched = true;
+      break;  // downstream fields are misaligned; one finding suffices
+    }
+    if (!mismatched && w.size() != r.size()) {
+      diags.push_back(Diagnostic{
+          kRule, file.path, di->second.line,
+          "message '" + name + "': encoder writes " +
+              std::to_string(w.size()) + " field" +
+              (w.size() == 1 ? "" : "s") + " but decoder reads " +
+              std::to_string(r.size())});
+    }
+  }
+  return diags;
+}
+
+}  // namespace mnp::lint

@@ -24,6 +24,7 @@ const std::set<std::string>& banned_idents() {
       "lrand48",       "random_device",  "system_clock",
       "high_resolution_clock",           "gettimeofday",
       "clock_gettime", "getrandom",      "rand_r",
+      "steady_clock",
   };
   return kBanned;
 }

@@ -191,6 +191,7 @@ std::vector<Diagnostic> run_all(const std::vector<SourceFile>& files,
     for (const SourceFile& f : files) {
       if (!ends_with(f.path, spec.file)) continue;
       append(check_state_machine(f, spec));
+      append(check_timer_discipline(f, spec, allow));
       found = true;
     }
     if (!found) {
@@ -200,9 +201,18 @@ std::vector<Diagnostic> run_all(const std::vector<SourceFile>& files,
     }
   }
   for (const SourceFile& f : files) {
+    // Determinism applies everywhere the scan reaches (src/bench/tools);
+    // the structural rules are scoped to the simulator sources.
     append(check_determinism(f, allow));
-    append(check_hygiene(f, allow));
+    if (has_prefix(f.path, "src/")) {
+      append(check_hygiene(f, allow));
+      append(check_reboot_reset(f, allow));
+    }
+    if (ends_with(f.path, "codec.cpp")) {
+      append(check_codec_symmetry(f));
+    }
   }
+  append(check_allowlist_staleness(files, allow));
   return diags;
 }
 

@@ -1,6 +1,6 @@
 // mnp_lint: repo-specific static analysis for the MNP simulator.
 //
-// Three rule families (DESIGN.md section 8):
+// Rule families (DESIGN.md sections 8 and 12):
 //
 //  * state-machine — reconstructs each protocol's transition table from
 //    its `change_state(State::kX)` / `state_ = State::kX` sites using
@@ -12,13 +12,30 @@
 //
 //  * determinism — bans wall-clock and global-PRNG identifiers
 //    (std::rand, srand, time(...), system_clock, random_device, ...) and
-//    unordered associative containers anywhere under src/; per-file
-//    allowlist entries (allowlist.txt) document the vetted exceptions.
+//    unordered associative containers under src/, bench/ and tools/;
+//    per-file allowlist entries (allowlist.txt) document the vetted
+//    exceptions.
 //
 //  * hygiene — every codec Reader primitive bounds-checks before touching
 //    the buffer, value-returning factories in net/frame.hpp and storage/
 //    carry [[nodiscard]], and no `new`/`delete` appears outside the
 //    pooled allocators in net/frame.cpp.
+//
+//  * codec-symmetry — pairs each EncodeVisitor overload in codec.cpp
+//    with the matching decode_payload case by *Msg struct name and diffs
+//    the Writer op sequence against the Reader op sequence; a field
+//    order/width/count mismatch or a message with only one side
+//    implemented is an error.
+//
+//  * timer-discipline — using the transition specs, verifies every timer
+//    armed in a protocol state is cancelled or re-armed on every outgoing
+//    edge of that state (the stale-timer-fires-in-wrong-state bug). The
+//    spec-independent reboot-reset sub-rule additionally requires
+//    reset_for_reboot() to cancel every timer the file owns.
+//
+//  * allowlist — staleness: an allowlist.txt entry whose file is no
+//    longer in the scanned set, or whose token no longer appears in that
+//    file, is an error so justifications can't rot silently.
 //
 // Everything operates on in-memory SourceFiles so the GTest suite
 // (tests/test_mnp_lint.cpp) can feed fixture snippets; main.cpp wires the
@@ -62,6 +79,11 @@ struct MachineSpec {
   bool has_state(const std::string& s) const;
 };
 
+/// One allowlist line: "<rule> <file> <token>  # justification".
+struct AllowEntry {
+  std::string rule, file, token;
+};
+
 /// Allowlist: lines of "<rule> <file> <token>  # justification".
 class Allowlist {
  public:
@@ -69,12 +91,10 @@ class Allowlist {
   bool allows(const std::string& rule, const std::string& file,
               const std::string& token) const;
   std::size_t size() const { return entries_.size(); }
+  const std::vector<AllowEntry>& entries() const { return entries_; }
 
  private:
-  struct Entry {
-    std::string rule, file, token;
-  };
-  std::vector<Entry> entries_;
+  std::vector<AllowEntry> entries_;
 };
 
 /// Parses a spec file; returns false and sets *error on malformed input.
@@ -109,8 +129,55 @@ std::vector<Diagnostic> check_determinism(const SourceFile& file,
 std::vector<Diagnostic> check_hygiene(const SourceFile& file,
                                       const Allowlist& allow);
 
+/// Codec symmetry over one codec.cpp translation unit.
+std::vector<Diagnostic> check_codec_symmetry(const SourceFile& file);
+
+/// Timer usage model of one protocol file, extracted alongside the
+/// transition table by the state-machine extractor.
+struct TimerModel {
+  /// One transition site: the edge, the function whose analysis emitted
+  /// it (cancel lookups chase its call graph), and the timers whose
+  /// expiry callbacks enclose the site — a timer that has already fired
+  /// is no longer pending and needs no cancel.
+  struct Site {
+    std::string from, to, fn;
+    std::set<std::string> fired;
+    int line = 0;
+  };
+  /// timer ident -> states an arm site was attributed to.
+  std::map<std::string, std::set<std::string>> armed_in;
+  /// function -> timers it cancels or re-arms, transitively over the
+  /// unqualified call graph.
+  std::map<std::string, std::set<std::string>> handled;
+  std::vector<Site> sites;
+};
+
+/// Extracts the timer model (arm sites resolve source states through the
+/// same guard/helper attribution as transitions). Extraction problems are
+/// appended to *diags when non-null; pass nullptr to suppress duplicates
+/// of check_state_machine's diagnostics.
+TimerModel extract_timer_model(const SourceFile& file,
+                               const MachineSpec& spec,
+                               std::vector<Diagnostic>* diags);
+
+/// Timer discipline over one protocol file against its machine spec.
+std::vector<Diagnostic> check_timer_discipline(const SourceFile& file,
+                                               const MachineSpec& spec,
+                                               const Allowlist& allow);
+
+/// Spec-independent sub-rule: a file defining reset_for_reboot() must
+/// cancel or reassign every *timer_ member it uses (transitively).
+std::vector<Diagnostic> check_reboot_reset(const SourceFile& file,
+                                           const Allowlist& allow);
+
+/// Staleness: every allowlist entry must name a scanned file that still
+/// contains the allowlisted token.
+std::vector<Diagnostic> check_allowlist_staleness(
+    const std::vector<SourceFile>& files, const Allowlist& allow);
+
 /// Runs every family over a file set. Machine specs apply to the file
-/// whose path ends with spec.file; the other families apply to all files.
+/// whose path ends with spec.file; determinism applies to all files;
+/// hygiene and reboot-reset to src/; codec-symmetry to *codec.cpp.
 std::vector<Diagnostic> run_all(const std::vector<SourceFile>& files,
                                 const std::vector<MachineSpec>& specs,
                                 const Allowlist& allow);

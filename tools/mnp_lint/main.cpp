@@ -58,16 +58,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Collect the source set (sorted for stable output).
+  // Collect the source set (sorted for stable output). src/ carries every
+  // rule family; bench/ and tools/ are scanned for the determinism and
+  // allowlist families.
   std::vector<mnp::lint::SourceFile> files;
-  for (const auto& entry : fs::recursive_directory_iterator(src_dir)) {
-    if (!entry.is_regular_file()) continue;
-    const std::string ext = entry.path().extension().string();
-    if (ext != ".cpp" && ext != ".hpp" && ext != ".h" && ext != ".cc") {
-      continue;
+  for (const char* dir : {"src", "bench", "tools"}) {
+    const fs::path base = root / dir;
+    if (!fs::is_directory(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".cpp" && ext != ".hpp" && ext != ".h" && ext != ".cc") {
+        continue;
+      }
+      files.push_back(mnp::lint::SourceFile{rel_path(entry.path(), root),
+                                            read_file(entry.path())});
     }
-    files.push_back(mnp::lint::SourceFile{rel_path(entry.path(), root),
-                                          read_file(entry.path())});
   }
   std::sort(files.begin(), files.end(),
             [](const auto& a, const auto& b) { return a.path < b.path; });

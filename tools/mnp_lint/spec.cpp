@@ -4,6 +4,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "lexer.hpp"
 #include "lint.hpp"
 
 namespace mnp::lint {
@@ -88,20 +89,29 @@ bool parse_machine_spec(const std::string& text, MachineSpec* spec,
 }
 
 void Allowlist::add(std::string rule, std::string file, std::string token) {
-  entries_.push_back(Entry{std::move(rule), std::move(file), std::move(token)});
+  entries_.push_back(
+      AllowEntry{std::move(rule), std::move(file), std::move(token)});
 }
+
+namespace {
+
+/// Path-suffix match aligned on a '/' component boundary, so absolute and
+/// repo-relative spellings of the same file agree.
+bool path_matches(const std::string& path, const std::string& suffix) {
+  if (path == suffix) return true;
+  return path.size() > suffix.size() &&
+         path.compare(path.size() - suffix.size(), suffix.size(), suffix) ==
+             0 &&
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+}  // namespace
 
 bool Allowlist::allows(const std::string& rule, const std::string& file,
                        const std::string& token) const {
-  for (const Entry& e : entries_) {
+  for (const AllowEntry& e : entries_) {
     if (e.rule != rule || e.token != token) continue;
-    // Match on path suffix so absolute and repo-relative spellings agree.
-    if (file == e.file ||
-        (file.size() > e.file.size() &&
-         file.compare(file.size() - e.file.size(), e.file.size(), e.file) == 0 &&
-         file[file.size() - e.file.size() - 1] == '/')) {
-      return true;
-    }
+    if (path_matches(file, e.file)) return true;
   }
   return false;
 }
@@ -117,6 +127,43 @@ Allowlist parse_allowlist(const std::string& text) {
     if (w.size() >= 3) allow.add(w[0], w[1], w[2]);
   }
   return allow;
+}
+
+std::vector<Diagnostic> check_allowlist_staleness(
+    const std::vector<SourceFile>& files, const Allowlist& allow) {
+  std::vector<Diagnostic> diags;
+  for (const AllowEntry& e : allow.entries()) {
+    const SourceFile* target = nullptr;
+    for (const SourceFile& f : files) {
+      if (path_matches(f.path, e.file)) {
+        target = &f;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      diags.push_back(Diagnostic{
+          "allowlist", e.file, 0,
+          "stale allowlist entry: '" + e.file +
+              "' is not in the scanned file set (rule '" + e.rule +
+              "', token '" + e.token + "') — delete the line"});
+      continue;
+    }
+    bool found = false;
+    for (const Token& t : lex(target->content)) {
+      if (t.text == e.token) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      diags.push_back(Diagnostic{
+          "allowlist", target->path, 0,
+          "stale allowlist entry: token '" + e.token +
+              "' no longer appears in " + target->path + " (rule '" + e.rule +
+              "') — delete the line"});
+    }
+  }
+  return diags;
 }
 
 }  // namespace mnp::lint

@@ -63,8 +63,15 @@ struct FuncInfo {
   int line = 0;
   StateSet immediate;  // state changes on the call's own control path
   StateSet deferred;   // state changes armed via lambdas (timers)
+  StateSet arms;       // timers armed before any context is established
   bool called = false;
 };
+
+/// `*timer_` member idents are the repository's timer-handle idiom.
+bool is_timer_ident(const Token& t) {
+  return t.ident() && t.text.size() >= 6 &&
+         t.text.compare(t.text.size() - 6, 6, "timer_") == 0;
+}
 
 struct CondInfo {
   StateSet positives, negatives;
@@ -85,8 +92,12 @@ bool is_keyword(const std::string& s) {
 class Extractor {
  public:
   Extractor(const SourceFile& file, const MachineSpec& spec,
-            std::vector<Diagnostic>* diags)
-      : file_(file), spec_(spec), diags_(diags), tokens_(lex(file.content)) {
+            std::vector<Diagnostic>* diags, TimerModel* tm = nullptr)
+      : file_(file),
+        spec_(spec),
+        diags_(diags),
+        tm_(tm),
+        tokens_(lex(file.content)) {
     for (const std::string& s : spec_.states) {
       if (s != spec_.transient_state) universe_.insert(s);
     }
@@ -94,6 +105,7 @@ class Extractor {
 
   std::vector<ExtractedTransition> run() {
     find_functions();
+    build_timer_handled();
     // Fixed point over caller-attributed targets, then one emitting pass.
     for (std::size_t round = 0; round < funcs_.size() + 2; ++round) {
       changed_ = false;
@@ -133,9 +145,70 @@ class Extractor {
       if (!t[k].is("{")) continue;
       const std::size_t end = match_delim(t, k);
       if (funcs_.count(name) == 0) {
-        funcs_[name] = FuncInfo{k + 1, end, t[i].line, {}, {}, false};
+        funcs_[name] = FuncInfo{k + 1, end, t[i].line, {}, {}, {}, false};
       }
       i = end;  // methods never nest
+    }
+  }
+
+  /// Timer cancels/re-arms (`x_timer_.cancel()` / `x_timer_ = ...`) and
+  /// unqualified helper calls in one token range. Nested lambda bodies
+  /// are skipped: code inside a callback runs when the timer fires, not
+  /// when this range executes, so its cancels don't count here.
+  void collect_handles(std::size_t begin, std::size_t end, StateSet* direct,
+                       std::set<std::string>* calls) const {
+    const TokenVec& t = tokens_;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (is_lambda_intro(i)) {
+        std::size_t j = match_delim(tokens_, i) + 1;
+        if (t[j].is("(")) j = match_delim(tokens_, j) + 1;
+        while (t[j].ident() && !t[j].is("{") && j < end) ++j;
+        if (t[j].is("{")) {
+          i = match_delim(tokens_, j);
+          continue;
+        }
+      }
+      if (is_timer_ident(t[i]) &&
+          (t[i + 1].is("=") ||
+           (t[i + 1].is(".") && t[i + 2].is("cancel")))) {
+        direct->insert(t[i].text);
+        continue;
+      }
+      if (t[i].ident() && t[i + 1].is("(") && funcs_.count(t[i].text) > 0 &&
+          !(t[i - 1].is("::") || t[i - 1].is(".") || t[i - 1].is("->"))) {
+        calls->insert(t[i].text);
+      }
+    }
+  }
+
+  /// Flat per-function cancel/re-arm sets, closed transitively over the
+  /// unqualified call graph. Deliberately path-insensitive: a cancel
+  /// anywhere in a function (or its callees) counts for every edge the
+  /// function implements, which errs toward fewer false positives.
+  /// (Lambda bodies get their own narrower scopes during analysis — what
+  /// matters when a callback fires is what the callback itself handles.)
+  void build_timer_handled() {
+    if (tm_ == nullptr) return;
+    std::map<std::string, StateSet> direct;
+    std::map<std::string, std::set<std::string>> calls;
+    for (const auto& [name, fn] : funcs_) {
+      collect_handles(fn.body_begin, fn.body_end, &direct[name],
+                      &calls[name]);
+    }
+    tm_->handled = direct;
+    bool grown = true;
+    while (grown) {
+      grown = false;
+      for (const auto& [name, callees] : calls) {
+        StateSet& mine = tm_->handled[name];
+        for (const std::string& callee : callees) {
+          const auto it = tm_->handled.find(callee);
+          if (it == tm_->handled.end()) continue;
+          for (const std::string& timer : it->second) {
+            grown |= mine.insert(timer).second;
+          }
+        }
+      }
     }
   }
 
@@ -238,12 +311,34 @@ class Extractor {
     if (ctx.known) {
       if (!emit_) return;
       for (const std::string& from : ctx.states) {
-        if (from != to) out_.push_back(ExtractedTransition{from, to, line});
+        if (from == to) continue;
+        out_.push_back(ExtractedTransition{from, to, line});
+        if (tm_ != nullptr) {
+          tm_->sites.push_back(TimerModel::Site{
+              from, to, fn_stack_.empty() ? std::string() : fn_stack_.back(),
+              std::set<std::string>(fired_stack_.begin(), fired_stack_.end()),
+              line});
+        }
       }
       return;
     }
     StateSet& pending = in_lambda ? self.deferred : self.immediate;
     changed_ |= pending.insert(to).second;
+  }
+
+  /// Records an arm of `timer` under `ctx`; unknown contexts export the
+  /// arm to the enclosing function for call-site attribution, exactly
+  /// like transition targets.
+  void arm_event(const Ctx& ctx, const std::string& timer, FuncInfo& self) {
+    if (ctx.known) {
+      if (emit_ && tm_ != nullptr) {
+        for (const std::string& s : ctx.states) {
+          tm_->armed_in[timer].insert(s);
+        }
+      }
+      return;
+    }
+    changed_ |= self.arms.insert(timer).second;
   }
 
   /// Call of helper `h` observed under `ctx`; returns the context after
@@ -257,6 +352,7 @@ class Extractor {
     for (const std::string& to : h.deferred) {
       event(ctx, to, line, self, in_lambda);
     }
+    for (const std::string& timer : h.arms) arm_event(ctx, timer, self);
     if (!ctx.known) {
       // Propagate flavor-preserving so grand-callers attribute correctly.
       for (const std::string& to : h.immediate) {
@@ -315,6 +411,9 @@ class Extractor {
   void walk_expression(std::size_t begin, std::size_t end, Ctx& ctx,
                        FuncInfo& self, bool in_lambda) {
     const TokenVec& t = tokens_;
+    // Timer whose arming statement this expression is (empty otherwise);
+    // the statement's lambda is that timer's expiry callback.
+    std::string arm_timer;
     for (std::size_t i = begin; i < end; ++i) {
       // assert(state_ == State::kX): establishes context for the scope.
       if (t[i].is("assert") && t[i + 1].is("(")) {
@@ -324,8 +423,24 @@ class Extractor {
         i = close;
         continue;
       }
+      // X_timer_ = ...schedule...(...): an arm site. The timer is pending
+      // in every state the statement runs in.
+      if (is_timer_ident(t[i]) && t[i + 1].is("=")) {
+        for (std::size_t j = i + 2; j < end && !t[j].is(";"); ++j) {
+          if (t[j].ident() && t[j].text.size() >= 8 &&
+              t[j].text.compare(0, 8, "schedule") == 0) {
+            arm_event(ctx, t[i].text, self);
+            arm_timer = t[i].text;
+            break;
+          }
+        }
+        ++i;  // past '='; the callback lambda is handled below
+        continue;
+      }
       // Lambda body: inherits the context at its definition site; its
-      // unknown-context transitions attribute as *deferred*.
+      // unknown-context transitions attribute as *deferred*. Inside an
+      // arming statement the lambda is the timer's expiry callback, so
+      // transitions within it run with that timer already fired.
       if (is_lambda_intro(i)) {
         std::size_t j = match_delim(tokens_, i) + 1;
         if (t[j].is("(")) j = match_delim(tokens_, j) + 1;
@@ -333,7 +448,28 @@ class Extractor {
         if (t[j].is("{")) {
           const std::size_t body_end = match_delim(tokens_, j);
           Ctx inner = ctx;
+          if (!arm_timer.empty()) fired_stack_.push_back(arm_timer);
+          if (tm_ != nullptr) {
+            // The lambda is its own cancel scope: when the callback
+            // fires, only what it (and its callees) cancels matters —
+            // the enclosing function's other branches ran long before.
+            const std::string scope =
+                "<lambda:" + std::to_string(t[i].line) + ">";
+            StateSet direct;
+            std::set<std::string> calls;
+            collect_handles(j + 1, body_end, &direct, &calls);
+            StateSet& handled = tm_->handled[scope];
+            handled.insert(direct.begin(), direct.end());
+            for (const std::string& callee : calls) {
+              const auto it = tm_->handled.find(callee);
+              if (it == tm_->handled.end()) continue;
+              handled.insert(it->second.begin(), it->second.end());
+            }
+            fn_stack_.push_back(scope);
+          }
           analyze_stmts(j + 1, body_end, inner, self, /*in_lambda=*/true);
+          if (tm_ != nullptr) fn_stack_.pop_back();
+          if (!arm_timer.empty()) fired_stack_.pop_back();
           i = body_end;
         }
         continue;
@@ -371,7 +507,8 @@ class Extractor {
         }
         const auto it = funcs_.find(t[i].text);
         if (it != funcs_.end() &&
-            (!it->second.immediate.empty() || !it->second.deferred.empty())) {
+            (!it->second.immediate.empty() || !it->second.deferred.empty() ||
+             !it->second.arms.empty())) {
           ctx = helper_call(ctx, it->second, t[i].line, self, in_lambda);
         }
       }
@@ -417,6 +554,16 @@ class Extractor {
         } else if (then_returns) {
           // `if (state-pure) return;` — the code after runs elsewhere.
           if (const auto after = refine_false(ctx, cond)) ctx = *after;
+        } else if (then_ctx.known) {
+          // Fall-through join: the then branch may have reassigned
+          // state_, so the code after it sees either the branch's final
+          // states or the not-taken path's.
+          const Ctx not_taken = refine_false(ctx, cond).value_or(ctx);
+          if (not_taken.known) {
+            StateSet joined = not_taken.states;
+            joined.insert(then_ctx.states.begin(), then_ctx.states.end());
+            ctx = Ctx::of(std::move(joined));
+          }
         }
         i = next;
         continue;
@@ -521,6 +668,8 @@ class Extractor {
         ctx = Ctx::of({spec_.transient_state});
       }
       h_called_ = false;
+      fn_stack_.assign(1, name);
+      fired_stack_.clear();
       analyze_stmts(fn.body_begin, fn.body_end, ctx, fn, /*in_lambda=*/false);
     }
     if (emit_) {
@@ -552,6 +701,7 @@ class Extractor {
   }
 
   void report_unattributed() {
+    if (diags_ == nullptr) return;
     for (const auto& [name, fn] : funcs_) {
       if (fn.immediate.empty() && fn.deferred.empty()) continue;
       if (fn.called) continue;
@@ -573,10 +723,13 @@ class Extractor {
   const SourceFile& file_;
   const MachineSpec& spec_;
   std::vector<Diagnostic>* diags_;
+  TimerModel* tm_;
   TokenVec tokens_;
   StateSet universe_;
   std::map<std::string, FuncInfo> funcs_;
   std::vector<ExtractedTransition> out_;
+  std::vector<std::string> fn_stack_;
+  std::vector<std::string> fired_stack_;
   bool emit_ = false;
   bool changed_ = false;
   bool h_called_ = false;
@@ -588,6 +741,14 @@ std::vector<ExtractedTransition> extract_transitions(
     const SourceFile& file, const MachineSpec& spec,
     std::vector<Diagnostic>* diags) {
   return Extractor(file, spec, diags).run();
+}
+
+TimerModel extract_timer_model(const SourceFile& file,
+                               const MachineSpec& spec,
+                               std::vector<Diagnostic>* diags) {
+  TimerModel tm;
+  Extractor(file, spec, diags, &tm).run();
+  return tm;
 }
 
 std::vector<Diagnostic> check_state_machine(const SourceFile& file,

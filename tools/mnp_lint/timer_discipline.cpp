@@ -1,0 +1,181 @@
+// Rule family: timer discipline.
+//
+// The classic dissemination-protocol bug is a stale timer: a state arms a
+// periodic timer, an event transitions the node elsewhere, and the timer
+// later fires in a state that never expected it. The simulator's lambdas
+// guard against some of this dynamically, but a guard is a symptom — the
+// contract is that every outgoing edge of a state cancels or re-arms
+// every timer that state keeps pending.
+//
+// check_timer_discipline verifies that contract against the machine
+// spec: the extractor (state_machine.cpp) attributes arm sites to source
+// states through the same guard/helper fixed point as transitions, and
+// each transition site is checked against the cancel/re-arm closure of
+// the function that emitted it. A timer whose own expiry callback
+// performs the transition has already fired and is exempt. Exceptions
+// that survive a transition by design (MNP's request_timer_) take an
+// allowlist entry: "timer-discipline <file> <timer>".
+//
+// check_reboot_reset is the spec-independent companion: any file that
+// defines reset_for_reboot() must cancel (or reassign) every *timer_
+// member it uses, transitively — a pre-reboot expiry must never fire
+// into the rebooted node. This also covers protocols without a machine
+// spec (xnp_node).
+
+#include <tuple>
+
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace mnp::lint {
+
+namespace {
+
+constexpr const char* kRule = "timer-discipline";
+constexpr const char* kRebootRule = "reboot-reset";
+
+bool is_timer_ident(const Token& t) {
+  return t.ident() && t.text.size() >= 6 &&
+         t.text.compare(t.text.size() - 6, 6, "timer_") == 0;
+}
+
+bool is_keyword(const std::string& s) {
+  static const std::set<std::string> kKeywords = {
+      "if", "else", "for", "while", "do", "switch", "case", "default",
+      "return", "break", "continue", "new", "delete", "sizeof", "throw"};
+  return kKeywords.count(s) > 0;
+}
+
+struct Body {
+  std::size_t begin = 0, end = 0;  // token range, exclusive end
+};
+
+bool lambda_intro(const std::vector<Token>& t, std::size_t i) {
+  if (!t[i].is("[")) return false;
+  if (i == 0) return true;
+  const std::string& p = t[i - 1].text;
+  return p == "(" || p == "," || p == "=" || p == "return" || p == "{" ||
+         p == ";" || p == "&&" || p == "||";
+}
+
+/// Function-body discovery, mirroring the extractor's (Class::method and
+/// free-function forms; first definition wins).
+std::map<std::string, Body> find_bodies(const std::vector<Token>& t) {
+  std::map<std::string, Body> out;
+  for (std::size_t i = 0; i + 3 < t.size(); ++i) {
+    std::string name;
+    std::size_t paren = 0;
+    if (t[i].ident() && t[i + 1].is("::") && t[i + 2].ident() &&
+        t[i + 3].is("(")) {
+      name = t[i + 2].text;
+      paren = i + 3;
+    } else if (t[i].ident() && t[i + 1].is("(") && i > 0 &&
+               t[i - 1].ident() && !is_keyword(t[i - 1].text) &&
+               !is_keyword(t[i].text)) {
+      name = t[i].text;
+      paren = i + 1;
+    } else {
+      continue;
+    }
+    std::size_t k = match_delim(t, paren) + 1;
+    while (t[k].is("const") || t[k].is("noexcept") || t[k].is("override") ||
+           t[k].is("final")) {
+      ++k;
+    }
+    if (!t[k].is("{")) continue;
+    const std::size_t end = match_delim(t, k);
+    if (out.count(name) == 0) out[name] = Body{k + 1, end};
+    i = end;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check_timer_discipline(const SourceFile& file,
+                                               const MachineSpec& spec,
+                                               const Allowlist& allow) {
+  std::vector<Diagnostic> diags;
+  // State-machine extraction problems are check_state_machine's findings;
+  // a null diags sink keeps the two rule families non-overlapping.
+  const TimerModel tm = extract_timer_model(file, spec, nullptr);
+  std::set<std::tuple<std::string, std::string, std::string>> seen;
+  for (const TimerModel::Site& site : tm.sites) {
+    const auto handled = tm.handled.find(site.fn);
+    for (const auto& [timer, states] : tm.armed_in) {
+      if (states.count(site.from) == 0) continue;
+      if (site.fired.count(timer) > 0) continue;
+      if (handled != tm.handled.end() && handled->second.count(timer) > 0) {
+        continue;
+      }
+      if (allow.allows(kRule, file.path, timer)) continue;
+      if (!seen.emplace(site.from, site.to, timer).second) continue;
+      diags.push_back(Diagnostic{
+          kRule, file.path, site.line,
+          "'" + timer + "' is armed in state " + site.from +
+              " but neither cancelled nor re-armed on the " + site.from +
+              " -> " + site.to + " transition (in '" + site.fn +
+              "'): a stale expiry would fire in " + site.to});
+    }
+  }
+  return diags;
+}
+
+std::vector<Diagnostic> check_reboot_reset(const SourceFile& file,
+                                           const Allowlist& allow) {
+  std::vector<Diagnostic> diags;
+  const std::vector<Token> t = lex(file.content);
+  const std::map<std::string, Body> bodies = find_bodies(t);
+  if (bodies.count("reset_for_reboot") == 0) return diags;
+
+  // Every timer the file touches, with its first-use line.
+  std::map<std::string, int> timers;
+  for (const Token& tok : t) {
+    if (is_timer_ident(tok)) timers.emplace(tok.text, tok.line);
+  }
+
+  // Cancel/reassign closure from reset_for_reboot over unqualified calls.
+  std::set<std::string> handled, visited;
+  std::vector<std::string> work = {"reset_for_reboot"};
+  while (!work.empty()) {
+    const std::string fn = work.back();
+    work.pop_back();
+    if (!visited.insert(fn).second) continue;
+    const Body& b = bodies.at(fn);
+    for (std::size_t i = b.begin; i < b.end; ++i) {
+      // Skip callback bodies: a cancel inside a lambda armed here runs
+      // when that timer fires, not during the reset itself.
+      if (lambda_intro(t, i)) {
+        std::size_t j = match_delim(t, i) + 1;
+        if (t[j].is("(")) j = match_delim(t, j) + 1;
+        while (t[j].ident() && !t[j].is("{") && j < b.end) ++j;
+        if (t[j].is("{")) {
+          i = match_delim(t, j);
+          continue;
+        }
+      }
+      if (is_timer_ident(t[i]) &&
+          (t[i + 1].is("=") ||
+           (t[i + 1].is(".") && t[i + 2].is("cancel")))) {
+        handled.insert(t[i].text);
+        continue;
+      }
+      if (t[i].ident() && t[i + 1].is("(") && bodies.count(t[i].text) > 0 &&
+          !(t[i - 1].is("::") || t[i - 1].is(".") || t[i - 1].is("->"))) {
+        work.push_back(t[i].text);
+      }
+    }
+  }
+
+  for (const auto& [timer, line] : timers) {
+    if (handled.count(timer) > 0) continue;
+    if (allow.allows(kRebootRule, file.path, timer)) continue;
+    diags.push_back(Diagnostic{
+        kRebootRule, file.path, line,
+        "'" + timer + "' is not cancelled by reset_for_reboot(): a "
+        "pre-reboot expiry would fire into the rebooted node"});
+  }
+  return diags;
+}
+
+}  // namespace mnp::lint

@@ -1,0 +1,317 @@
+// NCast decode-kernel and coded-vs-uncoded benchmark (DESIGN.md §13).
+//
+// Two claims are gated here and written to BENCH_nc.json (committed, so
+// the trajectory is visible across PRs):
+//
+//  1. Kernel: the SSSE3 GF(256) row kernel decodes at >= 4x the scalar
+//     table path on 1 KiB symbols — the whole reason the PSHUFB path and
+//     its runtime dispatch exist. Both kernels process the byte-identical
+//     packet sequence, so the ratio compares pure arithmetic.
+//  2. Protocol: under >= 20% link loss, NCast disseminates with fewer
+//     total messages than MNP. Packets carry rank instead of identity, so
+//     coded streams never pay MNP's per-loss request/retransmit round
+//     trips — this is the structural payoff the baseline is in the zoo to
+//     demonstrate. Churn and mobility cases ride along (reported, not
+//     gated: a crashed decoder rejoins via the generation journal).
+//
+// `bench_nc_decode --perf-json[=DIR]` writes DIR/BENCH_nc.json and exits
+// nonzero when either gate fails. The default invocation prints the quick
+// kernel numbers only.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/ncast_node.hpp"
+#include "harness/experiment.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/rng.hpp"
+#include "util/gf256.hpp"
+
+namespace {
+
+using namespace mnp;
+namespace gf = util::gf256;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// --- kernel half ------------------------------------------------------------
+
+struct CodedSet {
+  std::uint8_t k = 0;
+  std::size_t symbol_bytes = 0;
+  std::vector<std::vector<std::uint8_t>> sources;
+  std::vector<std::vector<std::uint8_t>> coeffs;   // per coded packet
+  std::vector<std::vector<std::uint8_t>> symbols;  // per coded packet
+};
+
+/// Pre-encodes 2k coded packets over random sources so the timed loop is
+/// decode-only. Encoding runs before any kernel forcing; both kernels see
+/// the identical packet sequence.
+CodedSet make_coded_set(std::uint8_t k, std::size_t symbol_bytes) {
+  CodedSet set;
+  set.k = k;
+  set.symbol_bytes = symbol_bytes;
+  sim::Rng rng(0xBE6C);
+  set.sources.resize(k);
+  for (auto& s : set.sources) {
+    s.resize(symbol_bytes);
+    for (auto& b : s) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  }
+  for (std::uint16_t seed = 0; seed < 2u * k; ++seed) {
+    std::vector<std::uint8_t> coeff(k);
+    baselines::ncast_expand_coefficients(1, seed, k, coeff.data());
+    std::vector<std::uint8_t> sym(symbol_bytes, 0);
+    for (std::uint8_t i = 0; i < k; ++i) {
+      gf::addmul_row(sym.data(), set.sources[i].data(), symbol_bytes, coeff[i]);
+    }
+    set.coeffs.push_back(std::move(coeff));
+    set.symbols.push_back(std::move(sym));
+  }
+  return set;
+}
+
+struct KernelRun {
+  double wall_ms = 0.0;
+  double mbytes_per_sec = 0.0;
+  bool verified = false;
+};
+
+/// Times `reps` full generation decodes (reset, insert until complete,
+/// back-substitute) under the currently forced kernel.
+KernelRun run_kernel(const CodedSet& set, int reps) {
+  baselines::RlncDecoder dec;
+  KernelRun out;
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    dec.reset(set.k, set.symbol_bytes);
+    for (std::size_t p = 0; p < set.coeffs.size() && !dec.complete(); ++p) {
+      dec.insert(set.coeffs[p].data(), set.symbols[p].data(), set.symbol_bytes);
+    }
+    dec.decode();
+  }
+  out.wall_ms = ms_since(start);
+  const double decoded_bytes =
+      static_cast<double>(reps) * set.k * set.symbol_bytes;
+  out.mbytes_per_sec =
+      out.wall_ms > 0.0 ? decoded_bytes / 1e6 / (out.wall_ms / 1000.0) : 0.0;
+  out.verified = dec.decoded();
+  for (std::uint8_t i = 0; out.verified && i < set.k; ++i) {
+    out.verified = 0 == std::memcmp(dec.source_packet(i),
+                                    set.sources[i].data(), set.symbol_bytes);
+  }
+  return out;
+}
+
+// --- protocol half ----------------------------------------------------------
+
+struct ProtoCase {
+  const char* name;
+  double degrade = 1.0;  // link success multiplier (0.8 => 20% loss)
+  bool churn = false;
+  bool mobility = false;
+};
+
+struct ProtoStats {
+  bool completed = false;
+  double completion_s = 0.0;
+  std::uint64_t messages = 0;
+  double msgs_per_node = 0.0;
+};
+
+ProtoStats run_protocol(harness::Protocol proto, const ProtoCase& c) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = proto;
+  cfg.rows = 4;
+  cfg.cols = 4;
+  cfg.range_ft = 25.0;
+  cfg.empirical_links = false;  // controlled loss: disk links x degrade
+  cfg.set_program_segments(2);
+  cfg.max_sim_time = sim::hours(4);
+  scenario::ScenarioBuilder b;
+  if (c.degrade < 1.0) {
+    b.degrade(sim::msec(1), sim::hours(4), c.degrade);
+  }
+  if (c.churn) b.kill(sim::sec(30), 5, /*down_for=*/sim::sec(60));
+  if (c.mobility) b.move(sim::sec(30), 15, 5.0, 5.0, /*over=*/sim::sec(30));
+  cfg.scenario = b.build(c.name);
+  const auto r = harness::run_experiment(cfg);
+  ProtoStats s;
+  s.completed = r.all_completed && r.verified_count() == r.nodes.size();
+  s.completion_s = r.completion_time == sim::kNever
+                       ? -1.0
+                       : sim::to_seconds(r.completion_time);
+  s.messages = r.transmissions;
+  s.msgs_per_node = r.avg_messages_sent();
+  return s;
+}
+
+// --- drivers ----------------------------------------------------------------
+
+int run_perf_json(const std::string& dir) {
+  // Kernel gate: 1 KiB symbols, k = 16 (the decoder supports any symbol
+  // size; the protocol's 22-byte symbols are reported alongside for
+  // context — short rows amortize the PSHUFB setup less).
+  const CodedSet big = make_coded_set(16, 1024);
+  const CodedSet wire = make_coded_set(16, 22);
+  constexpr int kReps = 400;
+  constexpr int kWireReps = 4000;
+
+  gf::set_kernel(gf::Kernel::kScalar);
+  const KernelRun scalar_big = run_kernel(big, kReps);
+  const KernelRun scalar_wire = run_kernel(wire, kWireReps);
+  KernelRun simd_big, simd_wire;
+  if (gf::simd_available()) {
+    gf::set_kernel(gf::Kernel::kSimd);
+    simd_big = run_kernel(big, kReps);
+    simd_wire = run_kernel(wire, kWireReps);
+  }
+  gf::set_kernel(gf::Kernel::kAuto);
+  const double speedup = scalar_big.mbytes_per_sec > 0.0
+                             ? simd_big.mbytes_per_sec / scalar_big.mbytes_per_sec
+                             : 0.0;
+  std::printf(
+      "kernel 1KiB: scalar %.1f MB/s, %s %.1f MB/s (%.1fx)\n"
+      "kernel 22B : scalar %.1f MB/s, %s %.1f MB/s\n",
+      scalar_big.mbytes_per_sec, gf::simd_available() ? "ssse3" : "n/a",
+      simd_big.mbytes_per_sec, speedup, scalar_wire.mbytes_per_sec,
+      gf::simd_available() ? "ssse3" : "n/a", simd_wire.mbytes_per_sec);
+
+  const std::vector<ProtoCase> cases = {
+      {"loss20", 0.8, false, false},
+      {"loss40", 0.6, false, false},
+      {"churn", 0.8, true, false},
+      {"mobility", 0.8, false, true},
+  };
+  std::vector<ProtoStats> mnp_stats, ncast_stats;
+  bool fewer_messages_under_loss = true;
+  for (const ProtoCase& c : cases) {
+    std::printf("bench_nc_decode: case %s...\n", c.name);
+    std::fflush(stdout);
+    mnp_stats.push_back(run_protocol(harness::Protocol::kMnp, c));
+    ncast_stats.push_back(run_protocol(harness::Protocol::kNcast, c));
+    const auto& m = mnp_stats.back();
+    const auto& n = ncast_stats.back();
+    std::printf("  MNP   %6llu msgs  %7.1f s  %s\n  NCast %6llu msgs  %7.1f s  %s\n",
+                static_cast<unsigned long long>(m.messages), m.completion_s,
+                m.completed ? "ok" : "INCOMPLETE",
+                static_cast<unsigned long long>(n.messages), n.completion_s,
+                n.completed ? "ok" : "INCOMPLETE");
+    if (c.degrade <= 0.8 && !c.churn && !c.mobility) {
+      fewer_messages_under_loss =
+          fewer_messages_under_loss && n.completed && m.completed &&
+          n.messages < m.messages;
+    }
+  }
+
+  const std::string path = dir + "/BENCH_nc.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"nc_decode\",\n"
+               "  \"kernel\": {\n"
+               "    \"simd_available\": %s,\n"
+               "    \"generation_size\": 16,\n"
+               "    \"scalar_1kib_mbps\": %.1f,\n"
+               "    \"simd_1kib_mbps\": %.1f,\n"
+               "    \"simd_over_scalar_1kib\": %.1f,\n"
+               "    \"scalar_22b_mbps\": %.1f,\n"
+               "    \"simd_22b_mbps\": %.1f,\n"
+               "    \"roundtrip_verified\": %s\n"
+               "  },\n"
+               "  \"protocol\": {\n"
+               "    \"config\": \"4x4 grid, 2 segments, disk links, "
+               "scenario-degraded success\",\n"
+               "    \"cases\": [\n",
+               gf::simd_available() ? "true" : "false",
+               scalar_big.mbytes_per_sec, simd_big.mbytes_per_sec, speedup,
+               scalar_wire.mbytes_per_sec, simd_wire.mbytes_per_sec,
+               (scalar_big.verified &&
+                (!gf::simd_available() || simd_big.verified))
+                   ? "true"
+                   : "false");
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& c = cases[i];
+    const auto& m = mnp_stats[i];
+    const auto& n = ncast_stats[i];
+    std::fprintf(
+        f,
+        "      {\"case\": \"%s\", \"loss\": %.2f, \"churn\": %s, "
+        "\"mobility\": %s,\n"
+        "       \"mnp\": {\"messages\": %llu, \"msgs_per_node\": %.1f, "
+        "\"completion_s\": %.1f, \"completed\": %s},\n"
+        "       \"ncast\": {\"messages\": %llu, \"msgs_per_node\": %.1f, "
+        "\"completion_s\": %.1f, \"completed\": %s}}%s\n",
+        c.name, 1.0 - c.degrade, c.churn ? "true" : "false",
+        c.mobility ? "true" : "false",
+        static_cast<unsigned long long>(m.messages), m.msgs_per_node,
+        m.completion_s, m.completed ? "true" : "false",
+        static_cast<unsigned long long>(n.messages), n.msgs_per_node,
+        n.completion_s, n.completed ? "true" : "false",
+        i + 1 == cases.size() ? "" : ",");
+  }
+  std::fprintf(f,
+               "    ]\n"
+               "  },\n"
+               "  \"gate_simd_4x_scalar\": %s,\n"
+               "  \"gate_ncast_fewer_msgs_at_loss\": %s\n"
+               "}\n",
+               (!gf::simd_available() || speedup >= 4.0) ? "true" : "false",
+               fewer_messages_under_loss ? "true" : "false");
+  std::fclose(f);
+  std::printf("bench_nc_decode: %s\n", path.c_str());
+
+  int rc = 0;
+  if (gf::simd_available() && speedup < 4.0) {
+    std::fprintf(stderr,
+                 "bench_nc_decode: SIMD speedup %.1fx below the 4x gate\n",
+                 speedup);
+    rc = 1;
+  }
+  if (!fewer_messages_under_loss) {
+    std::fprintf(stderr,
+                 "bench_nc_decode: NCast did not beat MNP on messages "
+                 "under >=20%% loss\n");
+    rc = 1;
+  }
+  return rc;
+}
+
+int run_quick() {
+  const CodedSet big = make_coded_set(16, 1024);
+  gf::set_kernel(gf::Kernel::kScalar);
+  const KernelRun scalar = run_kernel(big, 100);
+  KernelRun simd;
+  if (gf::simd_available()) {
+    gf::set_kernel(gf::Kernel::kSimd);
+    simd = run_kernel(big, 100);
+  }
+  gf::set_kernel(gf::Kernel::kAuto);
+  std::printf("decode 16x1KiB: scalar %.1f MB/s, simd %.1f MB/s (%s)\n",
+              scalar.mbytes_per_sec, simd.mbytes_per_sec,
+              scalar.verified && (!gf::simd_available() || simd.verified)
+                  ? "verified"
+                  : "MISMATCH");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strncmp(argv[i], "--perf-json", 11)) {
+      const char* eq = std::strchr(argv[i], '=');
+      return run_perf_json(eq ? eq + 1 : ".");
+    }
+  }
+  return run_quick();
+}

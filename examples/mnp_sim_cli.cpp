@@ -1,7 +1,7 @@
 // mnp_sim_cli: run any dissemination experiment from the command line and
 // optionally dump machine-readable CSVs.
 //
-//   mnp_sim_cli [--protocol mnp|deluge|moap|xnp] [--rows N] [--cols N]
+//   mnp_sim_cli [--protocol mnp|deluge|moap|xnp|ncast] [--rows N] [--cols N]
 //               [--spacing FT] [--range FT] [--segments N] [--bytes N]
 //               [--seed N] [--mac csma|tdma] [--no-pipelining]
 //               [--no-query-update] [--battery-aware] [--duty-cycle F]
@@ -32,7 +32,7 @@ namespace {
 [[noreturn]] void usage(const char* self) {
   std::cerr
       << "usage: " << self << " [options]\n"
-      << "  --protocol mnp|deluge|moap|xnp   protocol to run (default mnp)\n"
+      << "  --protocol mnp|deluge|moap|xnp|ncast   protocol to run (default mnp)\n"
       << "  --rows N --cols N                grid shape (default 10x10)\n"
       << "  --spacing FT                     inter-node distance (default 10)\n"
       << "  --range FT                       radio range (default 25)\n"
@@ -95,6 +95,8 @@ int main(int argc, char** argv) {
         cfg.protocol = harness::Protocol::kMoap;
       } else if (v == "xnp") {
         cfg.protocol = harness::Protocol::kXnp;
+      } else if (v == "ncast") {
+        cfg.protocol = harness::Protocol::kNcast;
       } else {
         usage(argv[0]);
       }

@@ -24,6 +24,7 @@ const char* protocol_name(Protocol p) {
     case Protocol::kDeluge: return "Deluge";
     case Protocol::kMoap: return "MOAP";
     case Protocol::kXnp: return "XNP";
+    case Protocol::kNcast: return "NCast";
   }
   return "?";
 }
@@ -34,6 +35,8 @@ std::uint16_t image_packets_per_segment(const ExperimentConfig& cfg) {
   switch (cfg.protocol) {
     case Protocol::kDeluge:
       return cfg.deluge.packets_per_page;
+    case Protocol::kNcast:
+      return cfg.ncast.generation_size;
     default:
       // MOAP/XNP stream linearly; segment geometry only shapes the image
       // container, so MNP's layout works for them too.
@@ -47,6 +50,7 @@ std::size_t image_payload_bytes(const ExperimentConfig& cfg) {
     case Protocol::kDeluge: return cfg.deluge.payload_bytes;
     case Protocol::kMoap: return cfg.moap.payload_bytes;
     case Protocol::kXnp: return cfg.xnp.payload_bytes;
+    case Protocol::kNcast: return cfg.ncast.payload_bytes;
   }
   return 22;
 }
@@ -79,6 +83,11 @@ void install_protocol(const ExperimentConfig& cfg, node::Network& network,
       case Protocol::kXnp:
         app = is_base ? std::make_unique<baselines::XnpNode>(cfg.xnp, image)
                       : std::make_unique<baselines::XnpNode>(cfg.xnp);
+        break;
+      case Protocol::kNcast:
+        app = is_base
+                  ? std::make_unique<baselines::NcastNode>(cfg.ncast, image)
+                  : std::make_unique<baselines::NcastNode>(cfg.ncast);
         break;
     }
     network.node(id).set_application(std::move(app));
@@ -127,6 +136,7 @@ RunResult run_experiment(const ExperimentConfig& config,
     cfg.mnp.journal_progress = true;
     cfg.deluge.journal_progress = true;
     cfg.moap.journal_progress = true;
+    cfg.ncast.journal_progress = true;
   }
 
   sim::Simulator sim(cfg.seed);
@@ -374,16 +384,19 @@ RunResult run_experiment(const ExperimentConfig& config,
     out.rx_total = ns.total_received();
     out.tx_adv = ns.sent_of(net::PacketType::kAdvertisement) +
                  ns.sent_of(net::PacketType::kDelugeSummary) +
-                 ns.sent_of(net::PacketType::kMoapPublish);
+                 ns.sent_of(net::PacketType::kMoapPublish) +
+                 ns.sent_of(net::PacketType::kNcastAdv);
     out.tx_req = ns.sent_of(net::PacketType::kDownloadRequest) +
                  ns.sent_of(net::PacketType::kDelugeRequest) +
                  ns.sent_of(net::PacketType::kMoapSubscribe) +
                  ns.sent_of(net::PacketType::kMoapNack) +
-                 ns.sent_of(net::PacketType::kXnpFixRequest);
+                 ns.sent_of(net::PacketType::kXnpFixRequest) +
+                 ns.sent_of(net::PacketType::kNcastRequest);
     out.tx_data = ns.sent_of(net::PacketType::kData) +
                   ns.sent_of(net::PacketType::kDelugeData) +
                   ns.sent_of(net::PacketType::kMoapData) +
-                  ns.sent_of(net::PacketType::kXnpData);
+                  ns.sent_of(net::PacketType::kXnpData) +
+                  ns.sent_of(net::PacketType::kNcastCoded);
     out.eeprom_writes = n.eeprom().total_writes();
     out.collisions_suffered = ns.collisions_suffered;
     out.energy_nah = n.meter().total_nah(sim.now());

@@ -8,6 +8,7 @@
 
 #include "baselines/deluge_node.hpp"
 #include "baselines/moap_node.hpp"
+#include "baselines/ncast_node.hpp"
 #include "baselines/xnp_node.hpp"
 #include "harness/metrics.hpp"
 #include "mnp/mnp_config.hpp"
@@ -18,7 +19,7 @@
 
 namespace mnp::harness {
 
-enum class Protocol { kMnp, kDeluge, kMoap, kXnp };
+enum class Protocol { kMnp, kDeluge, kMoap, kXnp, kNcast };
 
 /// Medium access: TinyOS-style CSMA (the paper's implementation) or the
 /// SS-TDMA slotted MAC its conclusion proposes pairing MNP with.
@@ -67,6 +68,7 @@ struct ExperimentConfig {
   baselines::DelugeConfig deluge;
   baselines::MoapConfig moap;
   baselines::XnpConfig xnp;
+  baselines::NcastConfig ncast;
 
   /// Battery-aware extension: per-node remaining-charge fractions
   /// (empty = everyone full). Only meaningful with mnp.battery_aware.

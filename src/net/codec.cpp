@@ -161,6 +161,25 @@ struct EncodeVisitor {
   }
   void operator()(const XnpQueryMsg& m) const { w.u16(m.total_packets); }
   void operator()(const XnpFixRequestMsg& m) const { w.u16(m.pkt_id); }
+  void operator()(const NcastAdvMsg& m) const {
+    w.u16(m.program_id);
+    w.u32(m.program_bytes);
+    w.u16(m.total_gens);
+    w.u16(m.complete_gens);
+    w.u8(m.gen_size);
+    w.u8(m.cur_rank);
+  }
+  void operator()(const NcastReqMsg& m) const {
+    w.u16(m.dest);
+    w.u16(m.gen);
+    w.u8(m.rank);
+  }
+  void operator()(const NcastCodedMsg& m) const {
+    w.u16(m.gen);
+    w.u16(m.coeff_seed);
+    w.u8(static_cast<std::uint8_t>(m.payload.size()));
+    w.bytes(m.payload.data(), m.payload.size());
+  }
 };
 
 // --- payload decoders -------------------------------------------------------
@@ -304,6 +323,32 @@ bool decode_payload(PacketType type, Reader& r, Payload& out) {
       out = m;
       return true;
     }
+    case PacketType::kNcastAdv: {
+      NcastAdvMsg m;
+      if (!r.u16(m.program_id) || !r.u32(m.program_bytes) ||
+          !r.u16(m.total_gens) || !r.u16(m.complete_gens) ||
+          !r.u8(m.gen_size) || !r.u8(m.cur_rank)) {
+        return false;
+      }
+      out = m;
+      return true;
+    }
+    case PacketType::kNcastRequest: {
+      NcastReqMsg m;
+      if (!r.u16(m.dest) || !r.u16(m.gen) || !r.u8(m.rank)) return false;
+      out = m;
+      return true;
+    }
+    case PacketType::kNcastCoded: {
+      NcastCodedMsg m;
+      std::uint8_t len = 0;
+      if (!r.u16(m.gen) || !r.u16(m.coeff_seed) || !r.u8(len) ||
+          !r.take(len, m.payload)) {
+        return false;
+      }
+      out = std::move(m);
+      return true;
+    }
   }
   return false;
 }
@@ -346,7 +391,7 @@ std::optional<Packet> decode(const std::uint8_t* frame, std::size_t length) {
   std::uint16_t dest = 0, src = 0;
   std::uint8_t type_raw = 0;
   if (!r.u16(dest) || !r.u16(src) || !r.u8(type_raw)) return std::nullopt;
-  if (type_raw > static_cast<std::uint8_t>(PacketType::kXnpFixRequest)) {
+  if (type_raw > static_cast<std::uint8_t>(PacketType::kNcastCoded)) {
     return std::nullopt;
   }
   Packet pkt;

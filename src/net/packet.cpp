@@ -21,6 +21,9 @@ const char* type_name(PacketType type) {
     case PacketType::kXnpData: return "XnpData";
     case PacketType::kXnpQuery: return "XnpQuery";
     case PacketType::kXnpFixRequest: return "XnpFixRequest";
+    case PacketType::kNcastAdv: return "NcastAdv";
+    case PacketType::kNcastRequest: return "NcastRequest";
+    case PacketType::kNcastCoded: return "NcastCoded";
   }
   return "Unknown";
 }
@@ -33,6 +36,7 @@ bool is_bulk_data(PacketType type) {
     case PacketType::kDelugeData:
     case PacketType::kMoapData:
     case PacketType::kXnpData:
+    case PacketType::kNcastCoded:
       return true;
     default:
       return false;
@@ -58,6 +62,9 @@ struct TypeVisitor {
   PacketType operator()(const XnpDataMsg&) const { return PacketType::kXnpData; }
   PacketType operator()(const XnpQueryMsg&) const { return PacketType::kXnpQuery; }
   PacketType operator()(const XnpFixRequestMsg&) const { return PacketType::kXnpFixRequest; }
+  PacketType operator()(const NcastAdvMsg&) const { return PacketType::kNcastAdv; }
+  PacketType operator()(const NcastReqMsg&) const { return PacketType::kNcastRequest; }
+  PacketType operator()(const NcastCodedMsg&) const { return PacketType::kNcastCoded; }
 };
 
 struct DestVisitor {
@@ -66,6 +73,7 @@ struct DestVisitor {
   NodeId operator()(const DelugeRequestMsg& m) const { return m.dest; }
   NodeId operator()(const MoapSubscribeMsg& m) const { return m.dest; }
   NodeId operator()(const MoapNackMsg& m) const { return m.dest; }
+  NodeId operator()(const NcastReqMsg& m) const { return m.dest; }
   template <typename T>
   NodeId operator()(const T&) const {
     return kBroadcastId;
@@ -77,6 +85,7 @@ struct SizeVisitor {
   std::size_t operator()(const DelugeDataMsg& m) const { return m.wire_bytes(); }
   std::size_t operator()(const MoapDataMsg& m) const { return m.wire_bytes(); }
   std::size_t operator()(const XnpDataMsg& m) const { return m.wire_bytes(); }
+  std::size_t operator()(const NcastCodedMsg& m) const { return m.wire_bytes(); }
   template <typename T>
   std::size_t operator()(const T&) const {
     return T::kWireBytes;

@@ -187,6 +187,46 @@ struct XnpFixRequestMsg {
 };
 
 // ---------------------------------------------------------------------------
+// NCast baseline messages (rateless RLNC dissemination, DESIGN.md §13)
+// ---------------------------------------------------------------------------
+
+/// Advertisement: program geometry plus decode progress — complete
+/// generations and working-generation rank. Rank, not a missing bitmap,
+/// is the advertised currency: any `gen_size` independent coded packets
+/// rebuild a generation, so "how many more" is all a peer needs to know.
+struct NcastAdvMsg {
+  std::uint16_t program_id = 0;
+  std::uint32_t program_bytes = 0;
+  std::uint16_t total_gens = 0;
+  std::uint16_t complete_gens = 0;
+  std::uint8_t gen_size = 0;  // source packets per generation (k)
+  std::uint8_t cur_rank = 0;  // decoder rank of generation complete_gens+1
+  static constexpr std::size_t kWireBytes = 2 + 4 + 2 + 2 + 1 + 1;
+};
+
+/// Request: "stream generation `gen`; my decoder rank is `rank`". The
+/// server sizes its burst from the rank deficit — there is no per-packet
+/// bookkeeping to echo back.
+struct NcastReqMsg {
+  NodeId dest = kBroadcastId;  // the advertiser this request is for
+  std::uint16_t gen = 0;       // 1-based generation id
+  std::uint8_t rank = 0;
+  static constexpr std::size_t kWireBytes = 2 + 2 + 1;
+};
+
+/// One coded packet: a random linear combination of the generation's k
+/// source packets. The coefficient vector is not shipped — both sides
+/// expand (gen, coeff_seed) through the same deterministic generator
+/// (ncast_node.hpp), so the wire overhead is 2 bytes regardless of k.
+struct NcastCodedMsg {
+  std::uint16_t gen = 0;
+  std::uint16_t coeff_seed = 0;
+  std::vector<std::uint8_t> payload;  // coded symbol, full payload length
+  static constexpr std::size_t kHeaderBytes = 2 + 2;
+  std::size_t wire_bytes() const { return kHeaderBytes + payload.size(); }
+};
+
+// ---------------------------------------------------------------------------
 
 enum class PacketType : std::uint8_t {
   kAdvertisement,
@@ -206,6 +246,9 @@ enum class PacketType : std::uint8_t {
   kXnpData,
   kXnpQuery,
   kXnpFixRequest,
+  kNcastAdv,
+  kNcastRequest,
+  kNcastCoded,
 };
 
 /// Human-readable type tag for reports.
@@ -224,7 +267,8 @@ using Payload =
                  DataMsg, EndDownloadMsg, QueryMsg, RepairRequestMsg,
                  DelugeSummaryMsg, DelugeRequestMsg, DelugeDataMsg,
                  MoapPublishMsg, MoapSubscribeMsg, MoapDataMsg, MoapNackMsg,
-                 XnpDataMsg, XnpQueryMsg, XnpFixRequestMsg>;
+                 XnpDataMsg, XnpQueryMsg, XnpFixRequestMsg, NcastAdvMsg,
+                 NcastReqMsg, NcastCodedMsg>;
 
 struct Packet {
   NodeId src = kNoNode;

@@ -33,6 +33,7 @@ MsgClass classify(net::PacketType t) {
     case PacketType::kAdvertisement:
     case PacketType::kDelugeSummary:
     case PacketType::kMoapPublish:
+    case PacketType::kNcastAdv:
       return MsgClass::kAdvertisement;
     case PacketType::kDownloadRequest:
     case PacketType::kRepairRequest:
@@ -40,11 +41,13 @@ MsgClass classify(net::PacketType t) {
     case PacketType::kMoapSubscribe:
     case PacketType::kMoapNack:
     case PacketType::kXnpFixRequest:
+    case PacketType::kNcastRequest:
       return MsgClass::kRequest;
     case PacketType::kData:
     case PacketType::kDelugeData:
     case PacketType::kMoapData:
     case PacketType::kXnpData:
+    case PacketType::kNcastCoded:
       return MsgClass::kData;
     default:
       return MsgClass::kOther;

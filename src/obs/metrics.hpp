@@ -36,7 +36,10 @@ namespace mnp::obs {
 /// chan.cache_invalidations counters and chan.grid_* gauges in the
 /// registry, plus "cache_repairs" / "cache_invalidations" counter tracks
 /// under the virtual "network" process in the trace.
-inline constexpr int kTelemetrySchemaVersion = 3;
+/// v4: NCast network-coded baseline — ncast.* counters (rounds,
+/// advs_sent, requests_sent, coded_sent, innovative, redundant,
+/// decode_row_ops, generations_decoded) and the ncast.rank gauge.
+inline constexpr int kTelemetrySchemaVersion = 4;
 
 enum class Unit : std::uint8_t {
   kCount,

@@ -1,0 +1,137 @@
+// GF(256) kernel: field axioms for the scalar primitives and the
+// SIMD == scalar property for the row kernel (DESIGN.md §13). The row
+// kernel is the inner loop of NCast's Gaussian eliminator — a silent
+// mismatch between the SSSE3 and table paths would corrupt decoded
+// images only on machines with (or without) SSSE3, so the equivalence is
+// pinned here over random rows, lengths and coefficients.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "util/gf256.hpp"
+
+namespace mnp {
+namespace {
+
+namespace gf = util::gf256;
+
+/// Restores auto dispatch even when an assertion fails mid-test.
+struct KernelGuard {
+  ~KernelGuard() { gf::set_kernel(gf::Kernel::kAuto); }
+};
+
+TEST(Gf256Field, MultiplicativeIdentityAndZero) {
+  for (unsigned a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf::gf_mul(x, 1), x);
+    EXPECT_EQ(gf::gf_mul(1, x), x);
+    EXPECT_EQ(gf::gf_mul(x, 0), 0);
+    EXPECT_EQ(gf::gf_mul(0, x), 0);
+  }
+}
+
+TEST(Gf256Field, EveryNonzeroElementHasAnInverse) {
+  for (unsigned a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf::gf_mul(x, gf::gf_inv(x)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256Field, DivisionInvertsMultiplicationExhaustively) {
+  for (unsigned a = 0; a < 256; ++a) {
+    for (unsigned b = 1; b < 256; ++b) {
+      const auto x = static_cast<std::uint8_t>(a);
+      const auto y = static_cast<std::uint8_t>(b);
+      EXPECT_EQ(gf::gf_mul(gf::gf_div(x, y), y), x);
+    }
+  }
+}
+
+TEST(Gf256Field, CommutativeAssociativeDistributiveSampled) {
+  sim::Rng rng(0xF1E1D);
+  for (int i = 0; i < 100000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    ASSERT_EQ(gf::gf_mul(a, b), gf::gf_mul(b, a));
+    ASSERT_EQ(gf::gf_mul(gf::gf_mul(a, b), c), gf::gf_mul(a, gf::gf_mul(b, c)));
+    // Field addition is XOR: multiplication must distribute over it.
+    ASSERT_EQ(gf::gf_mul(a, static_cast<std::uint8_t>(b ^ c)),
+              gf::gf_mul(a, b) ^ gf::gf_mul(a, c));
+  }
+}
+
+TEST(Gf256Row, AddmulMatchesPerElementDefinition) {
+  sim::Rng rng(7);
+  for (int iter = 0; iter < 64; ++iter) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 80));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    std::vector<std::uint8_t> src(n), dst(n), expect(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      src[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      dst[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      expect[i] = static_cast<std::uint8_t>(dst[i] ^ gf::gf_mul(c, src[i]));
+    }
+    gf::addmul_row(dst.data(), src.data(), n, c);
+    EXPECT_EQ(dst, expect) << "n=" << n << " c=" << int(c);
+  }
+}
+
+TEST(Gf256Row, MulRowMatchesPerElementDefinition) {
+  sim::Rng rng(8);
+  for (int iter = 0; iter < 64; ++iter) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 80));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    std::vector<std::uint8_t> dst(n), expect(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      expect[i] = gf::gf_mul(c, dst[i]);
+    }
+    gf::mul_row(dst.data(), n, c);
+    EXPECT_EQ(dst, expect) << "n=" << n << " c=" << int(c);
+  }
+}
+
+TEST(Gf256Dispatch, ForcedKernelsReportTheirNames) {
+  KernelGuard guard;
+  gf::set_kernel(gf::Kernel::kScalar);
+  EXPECT_STREQ(gf::kernel_name(), "scalar");
+  gf::set_kernel(gf::Kernel::kAuto);
+  if (gf::simd_available()) {
+    EXPECT_STREQ(gf::kernel_name(), "ssse3");
+    gf::set_kernel(gf::Kernel::kSimd);
+    EXPECT_STREQ(gf::kernel_name(), "ssse3");
+  } else {
+    // kSimd degrades silently where SSSE3 doesn't exist.
+    gf::set_kernel(gf::Kernel::kSimd);
+    EXPECT_STREQ(gf::kernel_name(), "scalar");
+  }
+}
+
+TEST(Gf256Dispatch, SimdMatchesScalarOnRandomRows) {
+  if (!gf::simd_available()) GTEST_SKIP() << "SSSE3 not available";
+  KernelGuard guard;
+  sim::Rng rng(0x51D);
+  for (int iter = 0; iter < 500; ++iter) {
+    // Lengths straddle the 16-byte vector width so both the SIMD body
+    // and the scalar tail execute, including pure-tail rows (n < 16).
+    const std::size_t n = static_cast<std::size_t>(rng.uniform_int(1, 96));
+    const auto c = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    std::vector<std::uint8_t> src(n);
+    std::vector<std::uint8_t> simd_dst(n), scalar_dst(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      src[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      simd_dst[i] = scalar_dst[i] =
+          static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    }
+    gf::set_kernel(gf::Kernel::kSimd);
+    gf::addmul_row(simd_dst.data(), src.data(), n, c);
+    gf::addmul_row_scalar(scalar_dst.data(), src.data(), n, c);
+    ASSERT_EQ(simd_dst, scalar_dst) << "n=" << n << " c=" << int(c);
+  }
+}
+
+}  // namespace
+}  // namespace mnp

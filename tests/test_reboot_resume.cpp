@@ -263,7 +263,8 @@ TEST_P(RebootConvergence, KilledNodeRejoinsAndNetworkConverges) {
 INSTANTIATE_TEST_SUITE_P(Protocols, RebootConvergence,
                          ::testing::Values(harness::Protocol::kMnp,
                                            harness::Protocol::kDeluge,
-                                           harness::Protocol::kMoap),
+                                           harness::Protocol::kMoap,
+                                           harness::Protocol::kNcast),
                          [](const auto& info) {
                            return harness::protocol_name(info.param);
                          });

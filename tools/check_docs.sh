@@ -42,6 +42,34 @@ for flag in --trace-out --metrics-out; do
   fi
 done
 
+# Protocol drift gate: the set of `--protocol` values the CLI accepts and
+# the set the docs advertise must match in both directions. Accepted
+# values are parsed from the mnp_sim_cli dispatch (`v == "name"` inside
+# the --protocol branch); documented values from every `--protocol name`
+# mention in the user-facing docs.
+accepted=$(sed -n '/--protocol/,/^    } else if/p' examples/mnp_sim_cli.cpp |
+           grep -oE 'v == "[a-z]+"' | sed -E 's/v == "([a-z]+)"/\1/' | sort -u)
+documented=$(grep -hoE '\-\-protocol [a-z|]+' README.md DESIGN.md PROTOCOLS.md EXPERIMENTS.md 2>/dev/null |
+             sed 's/--protocol //' | tr '|' '\n' | sort -u || true)
+if [ -z "$accepted" ]; then
+  echo "check_docs: could not parse accepted --protocol values from mnp_sim_cli.cpp" >&2
+  fail=1
+fi
+while IFS= read -r p; do
+  [ -n "$p" ] || continue
+  if ! grep -qx "$p" <<< "$documented"; then
+    echo "check_docs: CLI accepts --protocol $p but no doc mentions it" >&2
+    fail=1
+  fi
+done <<< "$accepted"
+while IFS= read -r p; do
+  [ -n "$p" ] || continue
+  if ! grep -qx "$p" <<< "$accepted"; then
+    echo "check_docs: docs mention --protocol $p but the CLI rejects it" >&2
+    fail=1
+  fi
+done <<< "$documented"
+
 if [ "$fail" -eq 0 ]; then
   echo "check_docs: OK ($checked documented binary paths resolve to targets)"
 fi

@@ -29,8 +29,6 @@ const char* protocol_name(Protocol p) {
   return "?";
 }
 
-namespace {
-
 std::uint16_t image_packets_per_segment(const ExperimentConfig& cfg) {
   switch (cfg.protocol) {
     case Protocol::kDeluge:
@@ -54,6 +52,8 @@ std::size_t image_payload_bytes(const ExperimentConfig& cfg) {
   }
   return 22;
 }
+
+namespace {
 
 void install_protocol(const ExperimentConfig& cfg, node::Network& network,
                       const std::shared_ptr<const core::ProgramImage>& image) {
@@ -141,7 +141,17 @@ RunResult run_experiment(const ExperimentConfig& config,
 
   sim::Simulator sim(cfg.seed);
   sim.scheduler().set_tie_break(cfg.tie_break);
-  net::Topology topo = net::Topology::grid(cfg.rows, cfg.cols, cfg.spacing_ft);
+  // The shared asset is only a construction shortcut: the run always works
+  // on a private copy (mobility mutates positions), and a pointer that
+  // disagrees with the config fields is ignored rather than trusted.
+  const bool shared_grid_ok = cfg.shared_topology != nullptr &&
+                              cfg.shared_topology->grid_rows() == cfg.rows &&
+                              cfg.shared_topology->grid_cols() == cfg.cols &&
+                              cfg.shared_topology->grid_spacing() ==
+                                  cfg.spacing_ft;
+  net::Topology topo =
+      shared_grid_ok ? *cfg.shared_topology
+                     : net::Topology::grid(cfg.rows, cfg.cols, cfg.spacing_ft);
 
   const auto make_links =
       [&cfg, &sim](const net::Topology& owned) -> std::unique_ptr<net::LinkModel> {
@@ -197,9 +207,18 @@ RunResult run_experiment(const ExperimentConfig& config,
         &observation->metrics);
   }
 
-  auto image = std::make_shared<const core::ProgramImage>(
-      cfg.program_id, cfg.program_bytes, image_packets_per_segment(cfg),
-      image_payload_bytes(cfg));
+  const bool shared_image_ok =
+      cfg.shared_image != nullptr && cfg.shared_image->id() == cfg.program_id &&
+      cfg.shared_image->total_bytes() == cfg.program_bytes &&
+      cfg.shared_image->packets_per_segment() ==
+          image_packets_per_segment(cfg) &&
+      cfg.shared_image->payload_bytes() == image_payload_bytes(cfg);
+  auto image = shared_image_ok
+                   ? cfg.shared_image
+                   : std::make_shared<const core::ProgramImage>(
+                         cfg.program_id, cfg.program_bytes,
+                         image_packets_per_segment(cfg),
+                         image_payload_bytes(cfg));
   install_protocol(cfg, network, image);
 
   // Determinism audit: the scheduler reports a state hash at every event
@@ -286,6 +305,31 @@ RunResult run_experiment(const ExperimentConfig& config,
   }
 
   node::StatsCollector& stats = network.stats();
+
+  // Live-progress samples (fleet-service streaming): same pattern as the
+  // energy sampler above — pre-scheduled read-only callbacks that cannot
+  // perturb the protocol trajectory, bounded so a tiny interval cannot
+  // flood the queue. Events past the completion time never fire.
+  if (observation && observation->on_progress &&
+      observation->progress_interval > 0) {
+    node::Network* net_ptr = &network;
+    sim::Simulator* sim_ptr = &sim;
+    const auto sample_progress = [net_ptr, sim_ptr, observation] {
+      RunProgress p;
+      p.sim_time = sim_ptr->now();
+      p.completed_nodes = net_ptr->stats().completed_count();
+      p.transmissions = net_ptr->channel().transmissions();
+      p.deliveries = net_ptr->channel().deliveries();
+      observation->on_progress(p);
+    };
+    const sim::Time interval = observation->progress_interval;
+    std::size_t scheduled = 0;
+    for (sim::Time t = interval; t <= cfg.max_sim_time && scheduled < 20000;
+         t += interval, ++scheduled) {
+      sim.scheduler().post_at(t, sample_progress);
+    }
+  }
+
   if (engine) {
     // Fault runs cannot stop at "everyone completed": a node may complete,
     // crash, and still have a reboot pending — and a partition window must

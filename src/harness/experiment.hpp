@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "baselines/deluge_node.hpp"
@@ -12,8 +13,10 @@
 #include "baselines/xnp_node.hpp"
 #include "harness/metrics.hpp"
 #include "mnp/mnp_config.hpp"
+#include "mnp/program_image.hpp"
 #include "net/channel.hpp"
 #include "net/link_model.hpp"
+#include "net/topology.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/scheduler.hpp"
 
@@ -81,12 +84,29 @@ struct ExperimentConfig {
   /// "schedule exhausted and every live node holds the image".
   scenario::Scenario scenario;
 
+  // --- shared immutable assets (fleet-service fast path) ---------------
+  /// Prebuilt grid to copy instead of calling Topology::grid per run (the
+  /// per-run copy keeps scenario mobility private). Used only when it
+  /// matches rows/cols/spacing_ft, so a stale pointer can never change
+  /// what the config fields describe. Never part of the run manifest.
+  std::shared_ptr<const net::Topology> shared_topology;
+  /// Prebuilt program image, disseminated as-is instead of regenerating
+  /// the deterministic content. Used only when id, size and segment
+  /// geometry match the fields above.
+  std::shared_ptr<const core::ProgramImage> shared_image;
+
   /// Convenience: size the program as N MNP segments.
   void set_program_segments(std::uint16_t segments) {
     program_bytes = static_cast<std::size_t>(segments) *
                     mnp.packets_per_segment * mnp.payload_bytes;
   }
 };
+
+/// Segment geometry run_experiment will build the ProgramImage with —
+/// the per-protocol resolution (Deluge pages, NCast generations, MNP
+/// segments). Exposed so asset caches can intern the identical image.
+std::uint16_t image_packets_per_segment(const ExperimentConfig& cfg);
+std::size_t image_payload_bytes(const ExperimentConfig& cfg);
 
 /// Runs one dissemination to completion (all nodes hold the image) or to
 /// config.max_sim_time / event exhaustion, whichever comes first.

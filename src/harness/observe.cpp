@@ -16,6 +16,8 @@
 
 namespace mnp::harness {
 
+const char* build_git_describe() { return MNP_GIT_DESCRIBE; }
+
 void write_trace_json(std::ostream& os, const Observation& observation) {
   obs::write_chrome_trace(os, observation.log, observation.node_count,
                           observation.counters);

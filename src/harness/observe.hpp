@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -20,6 +21,18 @@
 #include "trace/event_log.hpp"
 
 namespace mnp::harness {
+
+/// Build stamp (CMake `git describe`): the provenance string the run
+/// manifest carries and the fleet service serves from GET /version.
+const char* build_git_describe();
+
+/// One live-progress sample of an in-flight run (Observation::on_progress).
+struct RunProgress {
+  sim::Time sim_time = 0;
+  std::size_t completed_nodes = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+};
 
 /// Telemetry captured for one observed run (or merged over a sweep).
 struct Observation {
@@ -45,6 +58,15 @@ struct Observation {
   /// Node count of the observed network (run_experiment fills it in; the
   /// trace track layout needs it).
   std::size_t node_count = 0;
+  /// Live-progress hook (fleet-service metric streaming): when set and
+  /// `progress_interval` > 0, run_experiment samples completion state on
+  /// that cadence from inside the simulation, exactly like the energy
+  /// sampler — the callback reads counters only and never touches an RNG,
+  /// so a streamed run's protocol trajectory (and its exported metrics)
+  /// stays bit-identical to an unstreamed one. Called on the thread
+  /// running the simulation.
+  std::function<void(const RunProgress&)> on_progress;
+  sim::Time progress_interval = 0;
   /// Run the determinism auditor (DESIGN.md section 12): the scheduler
   /// records a state hash per executed event into `audit`. Off by default;
   /// audited runs pay one node-digest sweep per event.

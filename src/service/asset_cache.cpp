@@ -1,0 +1,88 @@
+#include "service/asset_cache.hpp"
+
+#include <cstring>
+
+#include "scenario/scenario_parser.hpp"
+
+namespace mnp::service {
+
+namespace {
+
+/// Doubles keyed by bit pattern: 10.0 and 10.0 collide, 10.0 and
+/// 10.000001 do not, and no tolerance heuristics sneak in.
+std::uint64_t double_bits(double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+std::shared_ptr<const net::Topology> AssetCache::grid(std::size_t rows,
+                                                      std::size_t cols,
+                                                      double spacing_ft) {
+  const GridKey key{rows, cols, double_bits(spacing_ft)};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = grids_.find(key);
+  if (it != grids_.end()) {
+    ++stats_.topology_hits;
+    return it->second;
+  }
+  ++stats_.topology_misses;
+  auto built = std::make_shared<const net::Topology>(
+      net::Topology::grid(rows, cols, spacing_ft));
+  grids_.emplace(key, built);
+  return built;
+}
+
+std::shared_ptr<const core::ProgramImage> AssetCache::image(
+    std::uint16_t program_id, std::size_t total_bytes,
+    std::uint16_t packets_per_segment, std::size_t payload_bytes) {
+  const ImageKey key{program_id, total_bytes, packets_per_segment,
+                     payload_bytes};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = images_.find(key);
+  if (it != images_.end()) {
+    ++stats_.image_hits;
+    return it->second;
+  }
+  ++stats_.image_misses;
+  auto built = std::make_shared<const core::ProgramImage>(
+      program_id, total_bytes, packets_per_segment, payload_bytes);
+  images_.emplace(key, built);
+  return built;
+}
+
+std::shared_ptr<const AssetCache::ParsedScenario> AssetCache::scenario(
+    const std::string& text) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = scenarios_.find(text);
+  if (it != scenarios_.end()) {
+    ++stats_.scenario_hits;
+    return it->second;
+  }
+  ++stats_.scenario_misses;
+  auto entry = std::make_shared<ParsedScenario>();
+  const scenario::ParseResult parsed = scenario::parse_scenario_text(text);
+  entry->ok = parsed.ok;
+  entry->error = parsed.error;
+  entry->scenario = parsed.scenario;
+  std::shared_ptr<const ParsedScenario> frozen = std::move(entry);
+  scenarios_.emplace(text, frozen);
+  return frozen;
+}
+
+void AssetCache::attach_assets(harness::ExperimentConfig& cfg) {
+  cfg.shared_topology = grid(cfg.rows, cfg.cols, cfg.spacing_ft);
+  cfg.shared_image =
+      image(cfg.program_id, cfg.program_bytes,
+            harness::image_packets_per_segment(cfg),
+            harness::image_payload_bytes(cfg));
+}
+
+AssetCache::Stats AssetCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mnp::service

@@ -1,0 +1,76 @@
+// Shared immutable asset caches for the fleet service (DESIGN.md §14).
+//
+// A sweep campaign submits hundreds of runs that differ only in seed;
+// rebuilding the grid topology, regenerating the pseudo-random program
+// image and re-parsing the scenario text for each would be pure waste.
+// The cache interns each by its defining parameters and hands out
+// shared_ptr<const T> — run_experiment copies the topology (mobility
+// mutates positions per run) and shares the image outright. Entries are
+// never evicted: the population is bounded by the number of *distinct*
+// asset shapes ever requested, which for real campaigns is tiny.
+//
+// Thread-safe: every lookup takes one mutex; construction of a missing
+// asset happens inside the lock (simple, and misses are rare after
+// warm-up).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "harness/experiment.hpp"
+#include "mnp/program_image.hpp"
+#include "net/topology.hpp"
+#include "scenario/scenario.hpp"
+
+namespace mnp::service {
+
+class AssetCache {
+ public:
+  /// Interned rows x cols grid with `spacing_ft` pitch.
+  std::shared_ptr<const net::Topology> grid(std::size_t rows, std::size_t cols,
+                                            double spacing_ft);
+
+  /// Interned deterministic program image.
+  std::shared_ptr<const core::ProgramImage> image(std::uint16_t program_id,
+                                                  std::size_t total_bytes,
+                                                  std::uint16_t packets_per_segment,
+                                                  std::size_t payload_bytes);
+
+  /// Parse result interned by exact scenario text (a parse failure is
+  /// cached too — resubmitting a broken scenario should not re-parse).
+  struct ParsedScenario {
+    bool ok = false;
+    std::string error;
+    scenario::Scenario scenario;
+  };
+  std::shared_ptr<const ParsedScenario> scenario(const std::string& text);
+
+  /// Fills cfg.shared_topology / cfg.shared_image from the cache for the
+  /// geometry the config describes (the service calls this right before
+  /// handing the config to the scheduler).
+  void attach_assets(harness::ExperimentConfig& cfg);
+
+  struct Stats {
+    std::uint64_t topology_hits = 0, topology_misses = 0;
+    std::uint64_t image_hits = 0, image_misses = 0;
+    std::uint64_t scenario_hits = 0, scenario_misses = 0;
+  };
+  Stats stats() const;
+
+ private:
+  using GridKey = std::tuple<std::size_t, std::size_t, std::uint64_t>;
+  using ImageKey =
+      std::tuple<std::uint16_t, std::size_t, std::uint16_t, std::size_t>;
+
+  mutable std::mutex mutex_;
+  std::map<GridKey, std::shared_ptr<const net::Topology>> grids_;
+  std::map<ImageKey, std::shared_ptr<const core::ProgramImage>> images_;
+  std::map<std::string, std::shared_ptr<const ParsedScenario>> scenarios_;
+  Stats stats_;
+};
+
+}  // namespace mnp::service

@@ -1,0 +1,292 @@
+#include "service/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace mnp::service {
+
+namespace {
+
+constexpr std::size_t kMaxHeaderBytes = 64 * 1024;
+constexpr std::size_t kMaxBodyBytes = 8 * 1024 * 1024;
+
+/// send() with MSG_NOSIGNAL (a vanished client must not SIGPIPE the
+/// daemon), retrying short writes. False once the peer is gone.
+bool send_all(int fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string response_head(int status, std::string_view content_type,
+                          bool with_length, std::size_t length) {
+  std::string head = "HTTP/1.1 ";
+  head += std::to_string(status);
+  head += ' ';
+  head += http_status_reason(status);
+  head += "\r\nContent-Type: ";
+  head.append(content_type.data(), content_type.size());
+  if (with_length) {
+    head += "\r\nContent-Length: ";
+    head += std::to_string(length);
+  }
+  head += "\r\nConnection: close\r\n\r\n";
+  return head;
+}
+
+std::string lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+/// Reads one request off `fd`. False on malformed/oversized/peer-gone.
+bool read_request(int fd, HttpRequest* out) {
+  std::string buf;
+  std::size_t header_end = std::string::npos;
+  char chunk[4096];
+  while (header_end == std::string::npos) {
+    if (buf.size() > kMaxHeaderBytes) return false;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    header_end = buf.find("\r\n\r\n");
+  }
+
+  // Request line.
+  const std::size_t line_end = buf.find("\r\n");
+  const std::string line = buf.substr(0, line_end);
+  const std::size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  out->method = line.substr(0, sp1);
+  out->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (out->method.empty() || out->target.empty() || out->target[0] != '/') {
+    return false;
+  }
+
+  // Headers.
+  std::size_t pos = line_end + 2;
+  while (pos < header_end) {
+    const std::size_t eol = buf.find("\r\n", pos);
+    const std::string header = buf.substr(pos, eol - pos);
+    pos = eol + 2;
+    const std::size_t colon = header.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = lower(header.substr(0, colon));
+    std::size_t v = colon + 1;
+    while (v < header.size() && header[v] == ' ') ++v;
+    out->headers[key] = header.substr(v);
+  }
+
+  // Body (Content-Length only; no chunked requests).
+  std::size_t content_length = 0;
+  auto cl = out->headers.find("content-length");
+  if (cl != out->headers.end()) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(cl->second.c_str(), &end, 10);
+    if (end == cl->second.c_str() || parsed > kMaxBodyBytes) return false;
+    content_length = static_cast<std::size_t>(parsed);
+  }
+  out->body = buf.substr(header_end + 4);
+  while (out->body.size() < content_length) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    out->body.append(chunk, static_cast<std::size_t>(n));
+  }
+  out->body.resize(content_length);
+  return true;
+}
+
+}  // namespace
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 201:
+      return "Created";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 500:
+      return "Internal Server Error";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Unknown";
+  }
+}
+
+void HttpExchange::send(int status, std::string_view content_type,
+                        std::string_view body) {
+  if (responded_) return;
+  responded_ = true;
+  std::string out = response_head(status, content_type, true, body.size());
+  out.append(body.data(), body.size());
+  send_all(fd_, out);
+}
+
+bool HttpExchange::begin_stream(int status, std::string_view content_type) {
+  if (responded_) return false;
+  responded_ = true;
+  return send_all(fd_, response_head(status, content_type, false, 0));
+}
+
+bool HttpExchange::write(std::string_view chunk) {
+  return send_all(fd_, chunk);
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+bool HttpServer::start(std::uint16_t port, Handler handler,
+                       std::string* error) {
+  handler_ = std::move(handler);
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never exposed off-host
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) < 0) {
+    if (error != nullptr) *error = std::string("bind: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::listen(listen_fd_, 128) < 0) {
+    if (error != nullptr) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = port;
+  }
+  stopping_.store(false);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  const int listen_fd = listen_fd_.exchange(-1);
+  if (listen_fd >= 0) {
+    ::shutdown(listen_fd, SHUT_RDWR);
+    ::close(listen_fd);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock and join every connection thread.
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns;
+  {
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    conns.swap(conns_);
+  }
+  for (auto& [id, conn] : conns) {
+    (void)id;
+    if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& [id, conn] : conns) {
+    (void)id;
+    if (conn->thread.joinable()) conn->thread.join();
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
+}
+
+void HttpServer::accept_loop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    connections_.fetch_add(1);
+
+    const std::lock_guard<std::mutex> lock(conn_mutex_);
+    reap_finished_locked();
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    conns_.emplace(id, std::move(conn));
+    raw->thread = std::thread([this, raw] { serve(raw); });
+  }
+}
+
+void HttpServer::serve(Connection* conn) {
+  HttpRequest request;
+  HttpExchange exchange(conn->fd);
+  if (read_request(conn->fd, &request)) {
+    handler_(request, exchange);
+    if (!exchange.responded()) {
+      exchange.send(500, "text/plain", "handler produced no response\n");
+    }
+  } else if (!stopping_.load()) {
+    exchange.send(400, "text/plain", "malformed request\n");
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+  conn->finished.store(true);
+}
+
+void HttpServer::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->second->finished.load()) {
+      if (it->second->thread.joinable()) it->second->thread.join();
+      if (it->second->fd >= 0) ::close(it->second->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace mnp::service

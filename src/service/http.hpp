@@ -1,0 +1,108 @@
+// Hand-rolled HTTP/1.1 server for the fleet daemon (DESIGN.md §14).
+//
+// Deliberately minimal and dependency-free: POSIX sockets, loopback-only
+// bind, thread-per-connection, `Connection: close` on every response.
+// Two response shapes cover the whole API: a buffered body with
+// Content-Length, and a close-delimited stream for NDJSON live metrics
+// (the client reads until EOF). No TLS, no keep-alive, no chunked
+// encoding — the daemon fronts a simulator on localhost, not the
+// internet.
+//
+// Shutdown discipline (ASan/TSan-clean): every connection thread is
+// joinable and registered together with its socket; stop() closes the
+// listener, shutdown()s every open socket (unblocking reads/writes), and
+// joins everything before returning.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace mnp::service {
+
+struct HttpRequest {
+  std::string method;  // upper-case as sent ("GET", "POST")
+  std::string target;  // path + optional query, as sent
+  std::string body;
+  std::map<std::string, std::string> headers;  // keys lower-cased
+};
+
+/// Per-connection response channel handed to the request handler. Exactly
+/// one of send()/begin_stream() must be called; the server answers 500
+/// itself when a handler responds with neither.
+class HttpExchange {
+ public:
+  explicit HttpExchange(int fd) : fd_(fd) {}
+
+  /// Buffered response with Content-Length.
+  void send(int status, std::string_view content_type, std::string_view body);
+
+  /// Starts a close-delimited streaming response (no Content-Length; the
+  /// body ends when the handler returns and the socket closes). Returns
+  /// false when the client is already gone.
+  bool begin_stream(int status, std::string_view content_type);
+
+  /// Appends one chunk to a streaming response. False = client gone;
+  /// the handler should stop producing.
+  bool write(std::string_view chunk);
+
+  bool responded() const { return responded_; }
+
+ private:
+  int fd_ = -1;
+  bool responded_ = false;
+};
+
+const char* http_status_reason(int status);
+
+class HttpServer {
+ public:
+  using Handler = std::function<void(const HttpRequest&, HttpExchange&)>;
+
+  HttpServer() = default;
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts the
+  /// accept loop. False + *error on failure.
+  bool start(std::uint16_t port, Handler handler, std::string* error);
+
+  /// Stops accepting, unblocks and joins every connection. Idempotent.
+  void stop();
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t connections_handled() const { return connections_.load(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
+  void accept_loop();
+  void serve(Connection* conn);
+  void reap_finished_locked();
+
+  // Written by start()/stop(), read concurrently by the accept loop.
+  std::atomic<int> listen_fd_{-1};
+  std::uint16_t port_ = 0;
+  Handler handler_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+
+  std::mutex conn_mutex_;
+  std::map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::uint64_t next_conn_id_ = 1;
+};
+
+}  // namespace mnp::service

@@ -1,0 +1,165 @@
+#include "service/http_client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace mnp::service {
+
+namespace {
+
+int connect_to(const std::string& host, std::uint16_t port,
+               std::string* error) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    *error = "host must be an IPv4 literal: " + host;
+    return -1;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    *error = std::string("connect: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool send_all(int fd, std::string_view data, std::string* error) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      *error = std::string("send: ") + std::strerror(errno);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::string request_text(const std::string& method, const std::string& target,
+                         const std::string& body) {
+  std::string out = method + " " + target + " HTTP/1.1\r\n";
+  out += "Host: mnp-fleet\r\nConnection: close\r\n";
+  if (!body.empty() || method == "POST") {
+    out += "Content-Type: application/json\r\nContent-Length: " +
+           std::to_string(body.size()) + "\r\n";
+  }
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+/// Parses the status line and strips head through "\r\n\r\n" from *buf.
+/// Returns false until the full head has arrived.
+bool take_head(std::string* buf, int* status) {
+  const std::size_t head_end = buf->find("\r\n\r\n");
+  if (head_end == std::string::npos) return false;
+  // "HTTP/1.1 NNN Reason"
+  const std::size_t sp = buf->find(' ');
+  *status = 0;
+  if (sp != std::string::npos) {
+    *status = std::atoi(buf->c_str() + sp + 1);
+  }
+  buf->erase(0, head_end + 4);
+  return true;
+}
+
+}  // namespace
+
+HttpResponse http_request(const std::string& host, std::uint16_t port,
+                          const std::string& method, const std::string& target,
+                          const std::string& body) {
+  HttpResponse res;
+  const int fd = connect_to(host, port, &res.error);
+  if (fd < 0) return res;
+  if (!send_all(fd, request_text(method, target, body), &res.error)) {
+    ::close(fd);
+    return res;
+  }
+  std::string buf;
+  bool have_head = false;
+  char chunk[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      res.error = std::string("recv: ") + std::strerror(errno);
+      ::close(fd);
+      return res;
+    }
+    if (n == 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (!have_head) have_head = take_head(&buf, &res.status);
+  }
+  ::close(fd);
+  if (!have_head) {
+    res.error = "connection closed before response head";
+    return res;
+  }
+  res.ok = true;
+  res.body = std::move(buf);
+  return res;
+}
+
+HttpResponse http_stream_lines(
+    const std::string& host, std::uint16_t port, const std::string& target,
+    const std::function<bool(std::string_view line)>& on_line) {
+  HttpResponse res;
+  const int fd = connect_to(host, port, &res.error);
+  if (fd < 0) return res;
+  if (!send_all(fd, request_text("GET", target, ""), &res.error)) {
+    ::close(fd);
+    return res;
+  }
+  std::string buf;
+  bool have_head = false;
+  bool aborted = false;
+  char chunk[8192];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      res.error = std::string("recv: ") + std::strerror(errno);
+      ::close(fd);
+      return res;
+    }
+    if (n == 0) break;
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (!have_head && !take_head(&buf, &res.status)) continue;
+    have_head = true;
+    std::size_t nl;
+    while (!aborted && (nl = buf.find('\n')) != std::string::npos) {
+      if (!on_line(std::string_view(buf.data(), nl))) aborted = true;
+      buf.erase(0, nl + 1);
+    }
+    if (aborted) break;
+  }
+  ::close(fd);
+  if (!have_head) {
+    res.error = "connection closed before response head";
+    return res;
+  }
+  if (!aborted && !buf.empty()) on_line(buf);
+  res.ok = true;
+  return res;
+}
+
+}  // namespace mnp::service

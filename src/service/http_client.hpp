@@ -1,0 +1,34 @@
+// Minimal blocking HTTP/1.1 client for mnp_fleet and the service tests.
+// Loopback-oriented: the host is a dotted-quad IPv4 literal (default
+// 127.0.0.1), one request per connection, responses are read to EOF
+// (the server always answers `Connection: close`).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace mnp::service {
+
+struct HttpResponse {
+  bool ok = false;      // transport-level success (any status counts as ok)
+  int status = 0;
+  std::string body;
+  std::string error;    // transport error when !ok
+};
+
+/// One buffered request/response round trip.
+HttpResponse http_request(const std::string& host, std::uint16_t port,
+                          const std::string& method, const std::string& target,
+                          const std::string& body);
+
+/// Streaming GET: invokes `on_line` for every newline-terminated line of
+/// the close-delimited body as it arrives (NDJSON live metrics). A false
+/// return from the callback aborts the stream early. The final unterminated
+/// fragment, if any, is delivered too.
+HttpResponse http_stream_lines(
+    const std::string& host, std::uint16_t port, const std::string& target,
+    const std::function<bool(std::string_view line)>& on_line);
+
+}  // namespace mnp::service

@@ -1,0 +1,69 @@
+// Minimal JSON reader for the fleet service (DESIGN.md §14).
+//
+// The daemon's request bodies and the client's response handling need a
+// parser, and the repo is dependency-free by policy — so this is a small
+// recursive-descent reader producing a plain value tree. It is the
+// read-side twin of obs::JsonWriter: the writer emits compact RFC 8259
+// JSON, this accepts it (plus arbitrary inter-token whitespace). Object
+// members preserve their source order; lookups are linear, which is fine
+// at request/response sizes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mnp::service {
+
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_bool() const { return kind == Kind::kBool; }
+
+  /// First member with key `key`, or nullptr (objects only).
+  const JsonValue* find(std::string_view key) const;
+
+  /// Convenience accessors with defaults for absent/mistyped values.
+  double number_or(double fallback) const {
+    return is_number() ? number : fallback;
+  }
+  bool bool_or(bool fallback) const { return is_bool() ? boolean : fallback; }
+  std::string_view string_or(std::string_view fallback) const {
+    return is_string() ? std::string_view(string) : fallback;
+  }
+};
+
+struct JsonParseResult {
+  bool ok = false;
+  JsonValue value;
+  /// "offset N: message" when !ok.
+  std::string error;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed, trailing
+/// garbage is an error). Depth-limited to keep hostile inputs from
+/// recursing the stack away.
+JsonParseResult parse_json(std::string_view text);
+
+}  // namespace mnp::service

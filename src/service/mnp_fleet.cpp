@@ -1,0 +1,253 @@
+// mnp_fleet: command-line client for the mnp_simd daemon (DESIGN.md §14).
+//
+//   mnp_fleet health  [--host IP] --port N
+//   mnp_fleet version [--host IP] --port N
+//   mnp_fleet metricsz [--host IP] --port N
+//   mnp_fleet submit  [--host IP] --port N [experiment flags]
+//                     [--seed N] [--runs N | --seeds 1,2,3]
+//                     [--scenario PATH] [--wait]
+//   mnp_fleet status  [--host IP] --port N --id N
+//   mnp_fleet metrics [--host IP] --port N --id N [--out PATH]
+//
+// Experiment flags mirror mnp_sim_cli: --protocol, --mac, --rows, --cols,
+// --spacing, --range, --segments, --bytes, --program-id, --no-pipelining,
+// --no-query-update, --battery-aware, --duty-cycle, --disk-links,
+// --tie-break, --max-sim-time-s, --boot-jitter-ms. Every flag is shipped
+// through the same option vocabulary the daemon parses (service/
+// run_request.hpp), so a run submitted here hashes identically to the
+// same run described as JSON by any other client.
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "service/http_client.hpp"
+#include "service/json.hpp"
+#include "service/run_request.hpp"
+
+namespace {
+
+using mnp::service::http_request;
+using mnp::service::http_stream_lines;
+using mnp::service::HttpResponse;
+
+[[noreturn]] void usage(const char* self) {
+  std::cerr
+      << "usage: " << self
+      << " health|version|metricsz|submit|status|metrics [options]\n"
+      << "  common: [--host IP] --port N\n"
+      << "  submit: experiment flags (see mnp_sim_cli), [--seed N]\n"
+      << "          [--runs N | --seeds 1,2,3] [--scenario PATH] [--wait]\n"
+      << "  status/metrics: --id N; metrics also [--out PATH]\n";
+  std::exit(2);
+}
+
+std::vector<std::uint64_t> parse_seed_list(const std::string& csv) {
+  std::vector<std::uint64_t> seeds;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) seeds.push_back(std::stoull(item));
+  }
+  return seeds;
+}
+
+int fail(const HttpResponse& res, const char* what) {
+  if (!res.ok) {
+    std::cerr << "mnp_fleet: " << what << ": " << res.error << "\n";
+  } else {
+    std::cerr << "mnp_fleet: " << what << ": HTTP " << res.status << "\n"
+              << res.body << "\n";
+  }
+  return 1;
+}
+
+/// Extracts run ids from a submit response ({"runs":[{"id":N,...},...]}).
+std::vector<std::uint64_t> submitted_ids(const std::string& body) {
+  std::vector<std::uint64_t> ids;
+  const auto parsed = mnp::service::parse_json(body);
+  if (!parsed.ok) return ids;
+  const auto* runs = parsed.value.find("runs");
+  if (runs == nullptr) return ids;
+  for (const auto& run : runs->items) {
+    const auto* id = run.find("id");
+    if (id != nullptr) ids.push_back(static_cast<std::uint64_t>(id->number));
+  }
+  return ids;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage(argv[0]);
+  const std::string command = argv[1];
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::uint64_t id = 0;
+  bool have_id = false;
+  bool wait = false;
+  std::string out_path;
+  std::string scenario_text;
+  std::uint64_t first_seed = 1;
+  std::size_t runs = 1;
+  std::vector<std::uint64_t> explicit_seeds;
+  std::vector<std::pair<std::string, std::string>> options;
+
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  auto option = [&](const char* key, std::string value) {
+    options.emplace_back(key, std::move(value));
+  };
+
+  for (int i = 2; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (!std::strcmp(arg, "--host")) {
+      host = need_value(i);
+    } else if (!std::strcmp(arg, "--port")) {
+      port = static_cast<std::uint16_t>(std::stoul(need_value(i)));
+    } else if (!std::strcmp(arg, "--id")) {
+      id = std::stoull(need_value(i));
+      have_id = true;
+    } else if (!std::strcmp(arg, "--out")) {
+      out_path = need_value(i);
+    } else if (!std::strcmp(arg, "--wait")) {
+      wait = true;
+    } else if (!std::strcmp(arg, "--seed")) {
+      first_seed = std::stoull(need_value(i));
+    } else if (!std::strcmp(arg, "--runs")) {
+      runs = std::stoul(need_value(i));
+    } else if (!std::strcmp(arg, "--seeds")) {
+      explicit_seeds = parse_seed_list(need_value(i));
+    } else if (!std::strcmp(arg, "--scenario")) {
+      std::ifstream f(need_value(i));
+      if (!f) {
+        std::cerr << "mnp_fleet: cannot read scenario file\n";
+        return 2;
+      }
+      std::stringstream text;
+      text << f.rdbuf();
+      scenario_text = text.str();
+    } else if (!std::strcmp(arg, "--protocol")) {
+      option("protocol", need_value(i));
+    } else if (!std::strcmp(arg, "--mac")) {
+      option("mac", need_value(i));
+    } else if (!std::strcmp(arg, "--rows")) {
+      option("rows", need_value(i));
+    } else if (!std::strcmp(arg, "--cols")) {
+      option("cols", need_value(i));
+    } else if (!std::strcmp(arg, "--spacing")) {
+      option("spacing_ft", need_value(i));
+    } else if (!std::strcmp(arg, "--range")) {
+      option("range_ft", need_value(i));
+    } else if (!std::strcmp(arg, "--segments")) {
+      option("segments", need_value(i));
+    } else if (!std::strcmp(arg, "--bytes")) {
+      option("program_bytes", need_value(i));
+    } else if (!std::strcmp(arg, "--program-id")) {
+      option("program_id", need_value(i));
+    } else if (!std::strcmp(arg, "--no-pipelining")) {
+      option("pipelining", "false");
+    } else if (!std::strcmp(arg, "--no-query-update")) {
+      option("query_update", "false");
+    } else if (!std::strcmp(arg, "--battery-aware")) {
+      option("battery_aware", "true");
+    } else if (!std::strcmp(arg, "--duty-cycle")) {
+      option("duty_cycle", need_value(i));
+    } else if (!std::strcmp(arg, "--disk-links")) {
+      option("empirical_links", "false");
+    } else if (!std::strcmp(arg, "--tie-break")) {
+      option("tie_break", need_value(i));
+    } else if (!std::strcmp(arg, "--max-sim-time-s")) {
+      option("max_sim_time_s", need_value(i));
+    } else if (!std::strcmp(arg, "--boot-jitter-ms")) {
+      option("boot_jitter_ms", need_value(i));
+    } else {
+      usage(argv[0]);
+    }
+  }
+  if (port == 0) usage(argv[0]);
+
+  if (command == "health" || command == "version" || command == "metricsz") {
+    const std::string target =
+        command == "health" ? "/healthz" : "/" + command;
+    const HttpResponse res = http_request(host, port, "GET", target, "");
+    if (!res.ok || res.status != 200) return fail(res, target.c_str());
+    std::cout << res.body << "\n";
+    return 0;
+  }
+
+  if (command == "status") {
+    if (!have_id) usage(argv[0]);
+    const HttpResponse res = http_request(
+        host, port, "GET", "/runs/" + std::to_string(id), "");
+    if (!res.ok || res.status != 200) return fail(res, "status");
+    std::cout << res.body << "\n";
+    return 0;
+  }
+
+  if (command == "metrics") {
+    if (!have_id) usage(argv[0]);
+    std::ofstream out_file;
+    if (!out_path.empty()) {
+      out_file.open(out_path);
+      if (!out_file) {
+        std::cerr << "mnp_fleet: cannot open " << out_path << "\n";
+        return 1;
+      }
+    }
+    std::ostream& out = out_path.empty() ? std::cout : out_file;
+    // Stream: for a finished run this is one buffered body; for an
+    // in-flight run, NDJSON lines arrive live until the final manifest.
+    const std::string target = "/runs/" + std::to_string(id) + "/metrics";
+    const HttpResponse res =
+        http_stream_lines(host, port, target, [&](std::string_view line) {
+          out << line << "\n";
+          return true;
+        });
+    if (!res.ok || res.status != 200) return fail(res, "metrics");
+    return 0;
+  }
+
+  if (command != "submit") usage(argv[0]);
+
+  std::vector<std::uint64_t> seeds = explicit_seeds;
+  if (seeds.empty()) {
+    for (std::size_t i = 0; i < runs; ++i) {
+      seeds.push_back(first_seed + i);
+    }
+  }
+  const std::string body =
+      mnp::service::run_request_json(options, scenario_text, seeds);
+  const HttpResponse res = http_request(host, port, "POST", "/runs", body);
+  if (!res.ok || res.status != 200) return fail(res, "submit");
+  std::cout << res.body << "\n";
+  if (!wait) return 0;
+
+  // Poll each run to a terminal state; exit nonzero if any failed.
+  bool all_done_ok = true;
+  for (const std::uint64_t run_id : submitted_ids(res.body)) {
+    for (;;) {
+      const HttpResponse status = http_request(
+          host, port, "GET", "/runs/" + std::to_string(run_id), "");
+      if (!status.ok || status.status != 200) return fail(status, "poll");
+      const auto parsed = mnp::service::parse_json(status.body);
+      const auto* state =
+          parsed.ok ? parsed.value.find("state") : nullptr;
+      const std::string name = state != nullptr ? state->string : "";
+      if (name == "done" || name == "failed") {
+        std::cout << status.body << "\n";
+        if (name == "failed") all_done_ok = false;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  }
+  return all_done_ok ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+#include "service/run_store.hpp"
+
+#include <chrono>
+
+namespace mnp::service {
+
+const char* run_state_name(RunState s) {
+  switch (s) {
+    case RunState::kQueued:
+      return "queued";
+    case RunState::kRunning:
+      return "running";
+    case RunState::kDone:
+      return "done";
+    case RunState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+RunStore::Submitted RunStore::submit(std::uint64_t manifest_hash,
+                                     std::string manifest_json,
+                                     double now_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto hit = by_manifest_.find(manifest_hash);
+  if (hit != by_manifest_.end()) {
+    RunRecord& existing = by_id_.at(hit->second);
+    ++existing.dedup_hits;
+    return {existing.id, false};
+  }
+  RunRecord record;
+  record.id = next_id_++;
+  record.manifest = manifest_hash;
+  record.manifest_json = std::move(manifest_json);
+  record.submitted_ms = now_ms;
+  const std::uint64_t id = record.id;
+  by_manifest_.emplace(manifest_hash, id);
+  by_id_.emplace(id, std::move(record));
+  return {id, true};
+}
+
+bool RunStore::get(std::uint64_t id, RunRecord* out) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  if (out != nullptr) *out = it->second;
+  return true;
+}
+
+bool RunStore::mark_running(std::uint64_t id, double now_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end() || it->second.state != RunState::kQueued) return false;
+  it->second.state = RunState::kRunning;
+  it->second.started_ms = now_ms;
+  changed_.notify_all();
+  return true;
+}
+
+void RunStore::mark_done(std::uint64_t id, std::string result_json,
+                         std::string metrics_json, double now_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  it->second.state = RunState::kDone;
+  it->second.result_json = std::move(result_json);
+  it->second.metrics_json = std::move(metrics_json);
+  it->second.finished_ms = now_ms;
+  changed_.notify_all();
+}
+
+void RunStore::mark_failed(std::uint64_t id, std::string error,
+                           double now_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  it->second.state = RunState::kFailed;
+  it->second.error = std::move(error);
+  it->second.finished_ms = now_ms;
+  changed_.notify_all();
+}
+
+void RunStore::append_progress(std::uint64_t id, std::string line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  it->second.progress.push_back(std::move(line));
+  changed_.notify_all();
+}
+
+std::size_t RunStore::wait_progress(std::uint64_t id, std::size_t from,
+                                    int timeout_ms,
+                                    std::vector<std::string>* out,
+                                    bool* done) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) {
+    if (done != nullptr) *done = true;
+    return from;
+  }
+  const auto has_news = [&] {
+    const RunRecord& r = it->second;
+    return r.progress.size() > from || r.state == RunState::kDone ||
+           r.state == RunState::kFailed;
+  };
+  if (!has_news() && timeout_ms > 0) {
+    changed_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return has_news(); });
+  }
+  const RunRecord& r = it->second;
+  for (std::size_t i = from; i < r.progress.size(); ++i) {
+    if (out != nullptr) out->push_back(r.progress[i]);
+  }
+  if (done != nullptr) {
+    *done = r.state == RunState::kDone || r.state == RunState::kFailed;
+  }
+  return r.progress.size();
+}
+
+bool RunStore::wait_terminal(std::uint64_t id, int timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  const auto terminal = [&] {
+    const RunState s = it->second.state;
+    return s == RunState::kDone || s == RunState::kFailed;
+  };
+  if (!terminal() && timeout_ms > 0) {
+    changed_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return terminal(); });
+  }
+  return terminal();
+}
+
+std::size_t RunStore::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return by_id_.size();
+}
+
+}  // namespace mnp::service

@@ -1,0 +1,90 @@
+// Dedup'ing run-result store (DESIGN.md §14).
+//
+// Every submitted run becomes one RunRecord keyed by its canonical
+// manifest hash (service/manifest.hpp). Submitting a manifest the store
+// already holds — queued, running, or done — returns the existing record
+// instead of creating a new one, so duplicate work is never enqueued and
+// a finished duplicate is answered with the *stored bytes* of the first
+// execution: byte-identical to a fresh simulation because the exports
+// are deterministic functions of the manifest (DESIGN.md §9).
+//
+// Concurrency: one mutex + condition variable guard the whole store.
+// Records are value-snapshotted out; waiting (pollers, NDJSON streamers)
+// is condition-variable based with a timeout so a dropped client can
+// never wedge a worker.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mnp::service {
+
+enum class RunState : std::uint8_t { kQueued, kRunning, kDone, kFailed };
+const char* run_state_name(RunState s);
+
+struct RunRecord {
+  std::uint64_t id = 0;
+  std::uint64_t manifest = 0;       // canonical manifest hash
+  std::string manifest_json;        // the canonical manifest itself
+  RunState state = RunState::kQueued;
+  std::string error;                // kFailed only
+  std::string result_json;          // run summary (service/scheduler.cpp)
+  std::string metrics_json;         // full run-manifest export bytes
+  std::vector<std::string> progress;  // NDJSON lines, in emission order
+  std::uint64_t dedup_hits = 0;     // duplicate submissions answered
+  double submitted_ms = 0.0;        // wall_ms() timestamps, self-metrics only
+  double started_ms = 0.0;
+  double finished_ms = 0.0;
+};
+
+class RunStore {
+ public:
+  struct Submitted {
+    std::uint64_t id = 0;
+    bool created = false;  // false = dedup hit on an existing record
+  };
+
+  /// Creates a record for `manifest_hash` or returns the existing one
+  /// (bumping its dedup_hits).
+  Submitted submit(std::uint64_t manifest_hash, std::string manifest_json,
+                   double now_ms);
+
+  /// Snapshot by id; false when unknown.
+  bool get(std::uint64_t id, RunRecord* out) const;
+
+  /// Worker transitions. mark_running returns false when the record is
+  /// not in kQueued (defensive; the scheduler owns the queue).
+  bool mark_running(std::uint64_t id, double now_ms);
+  void mark_done(std::uint64_t id, std::string result_json,
+                 std::string metrics_json, double now_ms);
+  void mark_failed(std::uint64_t id, std::string error, double now_ms);
+
+  /// Appends one NDJSON progress line (streamers are woken).
+  void append_progress(std::uint64_t id, std::string line);
+
+  /// Copies progress lines [from, ...) into *out and returns the new
+  /// cursor. `done` reports whether the run reached a terminal state.
+  /// Blocks up to timeout_ms for new lines when none are pending.
+  std::size_t wait_progress(std::uint64_t id, std::size_t from,
+                            int timeout_ms, std::vector<std::string>* out,
+                            bool* done) const;
+
+  /// Blocks until the record leaves kQueued/kRunning or timeout_ms
+  /// elapses; returns true on terminal state.
+  bool wait_terminal(std::uint64_t id, int timeout_ms) const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::condition_variable changed_;
+  std::map<std::uint64_t, RunRecord> by_id_;
+  std::map<std::uint64_t, std::uint64_t> by_manifest_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mnp::service

@@ -1,0 +1,175 @@
+#include "service/scheduler.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "harness/observe.hpp"
+#include "harness/sweep.hpp"
+#include "obs/json_writer.hpp"
+#include "service/wallclock.hpp"
+
+namespace mnp::service {
+
+namespace {
+
+std::string progress_line(const harness::RunProgress& p) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("sim_time_us");
+  w.value(static_cast<std::int64_t>(p.sim_time));
+  w.key("completed_nodes");
+  w.value(static_cast<std::uint64_t>(p.completed_nodes));
+  w.key("transmissions");
+  w.value(p.transmissions);
+  w.key("deliveries");
+  w.value(p.deliveries);
+  w.end_object();
+  return w.take();
+}
+
+std::string result_summary(const harness::RunResult& r) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("all_completed");
+  w.value(r.all_completed);
+  w.key("completed_count");
+  w.value(static_cast<std::uint64_t>(r.completed_count));
+  w.key("completion_s");
+  if (r.completion_time == sim::kNever) {
+    w.null();
+  } else {
+    w.value(static_cast<double>(r.completion_time) / 1e6);
+  }
+  w.key("transmissions");
+  w.value(r.transmissions);
+  w.key("deliveries");
+  w.value(r.deliveries);
+  w.key("collisions");
+  w.value(r.collisions);
+  w.key("bulk_overlaps");
+  w.value(r.bulk_overlaps);
+  w.key("avg_messages_sent");
+  w.value(r.avg_messages_sent());
+  w.key("total_energy_nah");
+  w.value(r.total_energy_nah());
+  w.key("verified_count");
+  w.value(static_cast<std::uint64_t>(r.verified_count()));
+  w.key("dead_nodes");
+  w.value(static_cast<std::uint64_t>(r.dead_nodes));
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace
+
+RunScheduler::RunScheduler(RunStore& store, AssetCache& assets,
+                           std::size_t jobs, sim::Time progress_interval)
+    : store_(store), assets_(assets), progress_interval_(progress_interval) {
+  const std::size_t resolved = harness::resolve_sweep_jobs(jobs);
+  std::size_t hardware = std::thread::hardware_concurrency();
+  if (hardware == 0) hardware = 1;
+  // The queue is unbounded, so clamp only against the machine: pass the
+  // resolved request as the "runs" bound.
+  const std::size_t count = harness::effective_sweep_jobs(
+      resolved, resolved, hardware, /*allow_oversubscribe=*/false);
+  workers_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+RunScheduler::~RunScheduler() { stop(); }
+
+void RunScheduler::enqueue(std::uint64_t run_id,
+                           harness::ExperimentConfig cfg) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    queue_.push_back(Job{run_id, std::move(cfg)});
+  }
+  wake_.notify_one();
+}
+
+void RunScheduler::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::size_t RunScheduler::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t RunScheduler::executed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return executed_;
+}
+
+std::uint64_t RunScheduler::failed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+void RunScheduler::worker_loop() {
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(job);
+  }
+}
+
+void RunScheduler::execute(const Job& job) {
+  if (!store_.mark_running(job.run_id, wall_ms())) return;
+  harness::ExperimentConfig cfg = job.cfg;
+  assets_.attach_assets(cfg);
+
+  // Trace-free observation: the metrics registry (all the manifest export
+  // reads) is unaffected by with_trace / progress sampling, so the stored
+  // bytes match what an observed one-shot CLI run of the same manifest
+  // writes (tests/test_service.cpp pins this).
+  harness::Observation obs(/*trace_capacity=*/1);
+  obs.with_trace = false;
+  obs.progress_interval = progress_interval_;
+  const std::uint64_t run_id = job.run_id;
+  if (progress_interval_ > 0) {
+    obs.on_progress = [this, run_id](const harness::RunProgress& p) {
+      store_.append_progress(run_id, progress_line(p));
+    };
+  }
+
+  std::string error;
+  try {
+    const harness::RunResult result = harness::run_experiment(cfg, &obs);
+    if (!result.scenario_error.empty()) {
+      error = "scenario: " + result.scenario_error;
+    } else {
+      std::ostringstream manifest;
+      harness::write_run_manifest(manifest, cfg, cfg.seed, /*runs=*/1, obs);
+      store_.mark_done(job.run_id, result_summary(result), manifest.str(),
+                       wall_ms());
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++executed_;
+      return;
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  store_.mark_failed(job.run_id, error, wall_ms());
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++failed_;
+}
+
+}  // namespace mnp::service

@@ -1,0 +1,70 @@
+// Concurrent run scheduler: multiplexes queued simulations over a worker
+// pool sized by the same clamp the sweep harness uses (DESIGN.md §14).
+//
+// Each worker pops one queued run, attaches shared assets from the
+// AssetCache, executes run_experiment with a trace-free Observation whose
+// on_progress hook feeds NDJSON lines into the RunStore, and stores the
+// deterministic metrics export as the record's result bytes. Workers are
+// plain joinable std::threads; stop() drains nothing — queued runs that
+// never started stay kQueued, which the daemon reports on shutdown.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "service/asset_cache.hpp"
+#include "service/run_store.hpp"
+
+namespace mnp::service {
+
+class RunScheduler {
+ public:
+  /// `jobs` follows SweepOptions::jobs semantics: 0 resolves through
+  /// MNP_SWEEP_JOBS and is clamped to hardware concurrency (at least 1).
+  RunScheduler(RunStore& store, AssetCache& assets, std::size_t jobs,
+               sim::Time progress_interval);
+  ~RunScheduler();
+
+  RunScheduler(const RunScheduler&) = delete;
+  RunScheduler& operator=(const RunScheduler&) = delete;
+
+  /// Queues run `run_id` for execution. The config must already describe
+  /// the run completely (seed included); assets are attached worker-side.
+  void enqueue(std::uint64_t run_id, harness::ExperimentConfig cfg);
+
+  /// Stops accepting work and joins every worker. Idempotent.
+  void stop();
+
+  std::size_t workers() const { return workers_.size(); }
+  std::size_t queue_depth() const;
+  std::uint64_t executed() const;
+  std::uint64_t failed() const;
+
+ private:
+  struct Job {
+    std::uint64_t run_id = 0;
+    harness::ExperimentConfig cfg;
+  };
+
+  void worker_loop();
+  void execute(const Job& job);
+
+  RunStore& store_;
+  AssetCache& assets_;
+  const sim::Time progress_interval_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Job> queue_;
+  bool stopping_ = false;
+  std::uint64_t executed_ = 0;
+  std::uint64_t failed_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mnp::service

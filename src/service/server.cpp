@@ -1,0 +1,392 @@
+#include "service/server.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "harness/observe.hpp"
+#include "obs/json_writer.hpp"
+#include "service/manifest.hpp"
+#include "service/run_request.hpp"
+#include "service/wallclock.hpp"
+
+namespace mnp::service {
+
+namespace {
+
+std::string error_json(std::string_view message) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("error");
+  w.value(message);
+  w.end_object();
+  return w.take();
+}
+
+/// Path portion of a request target (query string stripped).
+std::string_view target_path(std::string_view target) {
+  const std::size_t q = target.find('?');
+  return q == std::string_view::npos ? target : target.substr(0, q);
+}
+
+bool parse_id(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+FleetServer::FleetServer(FleetServerOptions options)
+    : options_(options) {
+  m_http_requests_ = self_metrics_.register_counter("fleet.http_requests",
+                                                    obs::Unit::kCount, false);
+  m_http_errors_ = self_metrics_.register_counter("fleet.http_errors",
+                                                  obs::Unit::kCount, false);
+  m_runs_submitted_ = self_metrics_.register_counter("fleet.runs_submitted",
+                                                     obs::Unit::kCount, false);
+  m_runs_deduped_ = self_metrics_.register_counter("fleet.runs_deduped",
+                                                   obs::Unit::kCount, false);
+  m_stream_lines_ = self_metrics_.register_counter("fleet.stream_lines",
+                                                   obs::Unit::kCount, false);
+
+  // Route table. Keep every registration a grep-able literal — the docs
+  // check (tools/check_docs.sh) cross-references these lines against the
+  // endpoint table in DESIGN.md §14, in both directions.
+  add_route("GET", "/healthz",
+            [this](const HttpRequest& rq, HttpExchange& ex,
+                   const std::vector<std::string>& p) {
+              handle_healthz(rq, ex, p);
+            });
+  add_route("GET", "/version",
+            [this](const HttpRequest& rq, HttpExchange& ex,
+                   const std::vector<std::string>& p) {
+              handle_version(rq, ex, p);
+            });
+  add_route("GET", "/metricsz",
+            [this](const HttpRequest& rq, HttpExchange& ex,
+                   const std::vector<std::string>& p) {
+              handle_metricsz(rq, ex, p);
+            });
+  add_route("POST", "/runs",
+            [this](const HttpRequest& rq, HttpExchange& ex,
+                   const std::vector<std::string>& p) {
+              handle_submit(rq, ex, p);
+            });
+  add_route("GET", "/runs/{id}",
+            [this](const HttpRequest& rq, HttpExchange& ex,
+                   const std::vector<std::string>& p) {
+              handle_run_status(rq, ex, p);
+            });
+  add_route("GET", "/runs/{id}/metrics",
+            [this](const HttpRequest& rq, HttpExchange& ex,
+                   const std::vector<std::string>& p) {
+              handle_run_metrics(rq, ex, p);
+            });
+}
+
+FleetServer::~FleetServer() { stop(); }
+
+bool FleetServer::start(std::string* error) {
+  started_ms_ = wall_ms();
+  scheduler_ = std::make_unique<RunScheduler>(store_, assets_, options_.jobs,
+                                              options_.progress_interval);
+  const bool ok = http_.start(
+      options_.port,
+      [this](const HttpRequest& rq, HttpExchange& ex) { dispatch(rq, ex); },
+      error);
+  if (!ok) scheduler_->stop();
+  return ok;
+}
+
+void FleetServer::stop() {
+  stopping_.store(true);
+  http_.stop();
+  if (scheduler_) scheduler_->stop();
+}
+
+void FleetServer::add_route(
+    const char* method, const char* pattern,
+    std::function<void(const HttpRequest&, HttpExchange&,
+                       const std::vector<std::string>&)>
+        handler) {
+  routes_.push_back(Route{method, pattern, std::move(handler)});
+}
+
+bool FleetServer::match_route(const std::string& pattern,
+                              std::string_view path,
+                              std::vector<std::string>* params) {
+  std::size_t pi = 0, ti = 0;
+  while (pi < pattern.size() && ti < path.size()) {
+    if (pattern[pi] != '/' || path[ti] != '/') return false;
+    ++pi;
+    ++ti;
+    std::size_t pe = pattern.find('/', pi);
+    if (pe == std::string::npos) pe = pattern.size();
+    std::size_t te = path.find('/', ti);
+    if (te == std::string_view::npos) te = path.size();
+    const std::string_view pseg(pattern.data() + pi, pe - pi);
+    const std::string_view tseg(path.data() + ti, te - ti);
+    if (pseg == "{id}") {
+      if (tseg.empty()) return false;
+      params->emplace_back(tseg);
+    } else if (pseg != tseg) {
+      return false;
+    }
+    pi = pe;
+    ti = te;
+  }
+  return pi == pattern.size() && ti == path.size();
+}
+
+void FleetServer::dispatch(const HttpRequest& request, HttpExchange& exchange) {
+  {
+    const std::lock_guard<std::mutex> lock(self_metrics_mutex_);
+    self_metrics_.add(m_http_requests_);
+  }
+  const std::string_view path = target_path(request.target);
+  bool path_known = false;
+  for (const Route& route : routes_) {
+    std::vector<std::string> params;
+    if (!match_route(route.pattern, path, &params)) continue;
+    path_known = true;
+    if (route.method != request.method) continue;
+    route.handler(request, exchange, params);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(self_metrics_mutex_);
+    self_metrics_.add(m_http_errors_);
+  }
+  if (path_known) {
+    exchange.send(405, "application/json", error_json("method not allowed"));
+  } else {
+    exchange.send(404, "application/json", error_json("no such endpoint"));
+  }
+}
+
+void FleetServer::handle_healthz(const HttpRequest&, HttpExchange& exchange,
+                                 const std::vector<std::string>&) {
+  exchange.send(200, "application/json", "{\"ok\":true}");
+}
+
+void FleetServer::handle_version(const HttpRequest&, HttpExchange& exchange,
+                                 const std::vector<std::string>&) {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("git_describe");
+  w.value(harness::build_git_describe());
+  w.key("schema_version");
+  w.value(obs::kTelemetrySchemaVersion);
+  w.end_object();
+  exchange.send(200, "application/json", w.take());
+}
+
+void FleetServer::handle_metricsz(const HttpRequest&, HttpExchange& exchange,
+                                  const std::vector<std::string>&) {
+  const AssetCache::Stats assets = assets_.stats();
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("schema_version");
+  w.value(obs::kTelemetrySchemaVersion);
+  w.key("git_describe");
+  w.value(harness::build_git_describe());
+  w.key("uptime_ms");
+  w.value(wall_ms() - started_ms_);
+  w.key("workers");
+  w.value(static_cast<std::uint64_t>(scheduler_ ? scheduler_->workers() : 0));
+  w.key("queue_depth");
+  w.value(
+      static_cast<std::uint64_t>(scheduler_ ? scheduler_->queue_depth() : 0));
+  w.key("runs_total");
+  w.value(static_cast<std::uint64_t>(store_.size()));
+  w.key("runs_executed");
+  w.value(scheduler_ ? scheduler_->executed() : 0);
+  w.key("runs_failed");
+  w.value(scheduler_ ? scheduler_->failed() : 0);
+  w.key("connections_handled");
+  w.value(http_.connections_handled());
+  w.key("assets");
+  w.begin_object();
+  w.key("topology_hits");
+  w.value(assets.topology_hits);
+  w.key("topology_misses");
+  w.value(assets.topology_misses);
+  w.key("image_hits");
+  w.value(assets.image_hits);
+  w.key("image_misses");
+  w.value(assets.image_misses);
+  w.key("scenario_hits");
+  w.value(assets.scenario_hits);
+  w.key("scenario_misses");
+  w.value(assets.scenario_misses);
+  w.end_object();
+  w.key("metrics");
+  {
+    const std::lock_guard<std::mutex> lock(self_metrics_mutex_);
+    self_metrics_.write_json(w);
+  }
+  w.end_object();
+  exchange.send(200, "application/json", w.take());
+}
+
+void FleetServer::handle_submit(const HttpRequest& request,
+                                HttpExchange& exchange,
+                                const std::vector<std::string>&) {
+  RunRequestResult parsed = parse_run_request_text(request.body);
+  if (!parsed.ok) {
+    const std::lock_guard<std::mutex> lock(self_metrics_mutex_);
+    self_metrics_.add(m_http_errors_);
+    exchange.send(400, "application/json", error_json(parsed.error));
+    return;
+  }
+  // Intern the scenario parse (a sweep campaign resubmits the same text
+  // once per seed); parse_run_request already validated it.
+  if (!parsed.scenario_text.empty()) {
+    auto cached = assets_.scenario(parsed.scenario_text);
+    if (!cached->ok) {
+      const std::lock_guard<std::mutex> lock(self_metrics_mutex_);
+      self_metrics_.add(m_http_errors_);
+      exchange.send(400, "application/json", error_json(cached->error));
+      return;
+    }
+    parsed.request.cfg.scenario = cached->scenario;
+  }
+
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("runs");
+  w.begin_array();
+  std::uint64_t submitted = 0, deduped = 0;
+  for (const std::uint64_t seed : parsed.request.seeds) {
+    harness::ExperimentConfig cfg = parsed.request.cfg;
+    cfg.seed = seed;
+    std::string manifest = canonical_manifest(cfg, seed);
+    const std::uint64_t hash = fnv1a64(manifest);
+    const RunStore::Submitted sub =
+        store_.submit(hash, std::move(manifest), wall_ms());
+    if (sub.created) {
+      ++submitted;
+      scheduler_->enqueue(sub.id, cfg);
+    } else {
+      ++deduped;
+    }
+    w.begin_object();
+    w.key("id");
+    w.value(sub.id);
+    w.key("seed");
+    w.value(seed);
+    w.key("manifest");
+    w.value(manifest_hash_hex(hash));
+    w.key("dedup");
+    w.value(!sub.created);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  {
+    const std::lock_guard<std::mutex> lock(self_metrics_mutex_);
+    self_metrics_.add(m_runs_submitted_, submitted);
+    self_metrics_.add(m_runs_deduped_, deduped);
+  }
+  exchange.send(200, "application/json", w.take());
+}
+
+std::string FleetServer::run_status_json(const RunRecord& record) const {
+  obs::JsonWriter w;
+  w.begin_object();
+  w.key("id");
+  w.value(record.id);
+  w.key("manifest");
+  w.value(manifest_hash_hex(record.manifest));
+  w.key("state");
+  w.value(run_state_name(record.state));
+  w.key("dedup_hits");
+  w.value(record.dedup_hits);
+  w.key("progress_lines");
+  w.value(static_cast<std::uint64_t>(record.progress.size()));
+  if (record.state == RunState::kFailed) {
+    w.key("error");
+    w.value(record.error);
+  }
+  w.key("result");
+  if (record.result_json.empty()) {
+    w.null();
+  } else {
+    w.raw(record.result_json);
+  }
+  w.end_object();
+  return w.take();
+}
+
+void FleetServer::handle_run_status(const HttpRequest&, HttpExchange& exchange,
+                                    const std::vector<std::string>& params) {
+  std::uint64_t id = 0;
+  RunRecord record;
+  if (!parse_id(params.at(0), &id) || !store_.get(id, &record)) {
+    const std::lock_guard<std::mutex> lock(self_metrics_mutex_);
+    self_metrics_.add(m_http_errors_);
+    exchange.send(404, "application/json", error_json("no such run"));
+    return;
+  }
+  exchange.send(200, "application/json", run_status_json(record));
+}
+
+void FleetServer::handle_run_metrics(const HttpRequest&, HttpExchange& exchange,
+                                     const std::vector<std::string>& params) {
+  std::uint64_t id = 0;
+  RunRecord record;
+  if (!parse_id(params.at(0), &id) || !store_.get(id, &record)) {
+    const std::lock_guard<std::mutex> lock(self_metrics_mutex_);
+    self_metrics_.add(m_http_errors_);
+    exchange.send(404, "application/json", error_json("no such run"));
+    return;
+  }
+  if (record.state == RunState::kDone) {
+    exchange.send(200, "application/json", record.metrics_json);
+    return;
+  }
+  if (record.state == RunState::kFailed) {
+    exchange.send(500, "application/json", error_json(record.error));
+    return;
+  }
+
+  // In-flight: stream progress as NDJSON, ending with the final metrics
+  // manifest (or an error object) as the last line.
+  if (!exchange.begin_stream(200, "application/x-ndjson")) return;
+  std::size_t cursor = 0;
+  std::uint64_t lines_sent = 0;
+  bool done = false;
+  bool client_gone = false;
+  while (!done && !client_gone && !stopping_.load()) {
+    std::vector<std::string> lines;
+    cursor = store_.wait_progress(id, cursor, options_.stream_poll_ms, &lines,
+                                  &done);
+    for (const std::string& line : lines) {
+      if (!exchange.write(line) || !exchange.write("\n")) {
+        client_gone = true;
+        break;
+      }
+      ++lines_sent;
+    }
+  }
+  if (!client_gone && store_.get(id, &record)) {
+    if (record.state == RunState::kDone) {
+      // write_run_manifest output is already newline-terminated.
+      if (exchange.write(record.metrics_json) &&
+          (record.metrics_json.empty() || record.metrics_json.back() != '\n')) {
+        exchange.write("\n");
+      }
+      ++lines_sent;
+    } else if (record.state == RunState::kFailed) {
+      if (exchange.write(error_json(record.error))) exchange.write("\n");
+      ++lines_sent;
+    }
+  }
+  const std::lock_guard<std::mutex> lock(self_metrics_mutex_);
+  self_metrics_.add(m_stream_lines_, lines_sent);
+}
+
+}  // namespace mnp::service

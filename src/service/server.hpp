@@ -1,0 +1,101 @@
+// FleetServer: the mnp_simd daemon's HTTP API over the run store, the
+// scheduler and the asset caches (DESIGN.md §14 documents each endpoint).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "service/asset_cache.hpp"
+#include "service/http.hpp"
+#include "service/run_store.hpp"
+#include "service/scheduler.hpp"
+
+namespace mnp::service {
+
+struct FleetServerOptions {
+  /// TCP port on 127.0.0.1; 0 picks an ephemeral port (see port()).
+  std::uint16_t port = 0;
+  /// Scheduler worker threads; 0 resolves through MNP_SWEEP_JOBS and the
+  /// hardware clamp (harness::effective_sweep_jobs).
+  std::size_t jobs = 0;
+  /// Simulated-time cadence of live-progress NDJSON samples (0 disables
+  /// streaming progress; metrics streaming then only emits the final line).
+  sim::Time progress_interval = sim::sec(30);
+  /// Wall-clock poll granularity of streaming waits. Small enough that a
+  /// stream notices run completion promptly, large enough to stay idle.
+  int stream_poll_ms = 100;
+};
+
+class FleetServer {
+ public:
+  explicit FleetServer(FleetServerOptions options);
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  bool start(std::string* error);
+  void stop();
+
+  std::uint16_t port() const { return http_.port(); }
+  RunStore& store() { return store_; }
+  AssetCache& assets() { return assets_; }
+  RunScheduler& scheduler() { return *scheduler_; }
+
+ private:
+  struct Route {
+    std::string method;
+    std::string pattern;  // "/runs/{id}/metrics" — {id} captures a segment
+    std::function<void(const HttpRequest&, HttpExchange&,
+                       const std::vector<std::string>&)>
+        handler;
+  };
+
+  void add_route(const char* method, const char* pattern,
+                 std::function<void(const HttpRequest&, HttpExchange&,
+                                    const std::vector<std::string>&)>
+                     handler);
+  void dispatch(const HttpRequest& request, HttpExchange& exchange);
+  static bool match_route(const std::string& pattern, std::string_view path,
+                          std::vector<std::string>* params);
+
+  void handle_healthz(const HttpRequest&, HttpExchange&,
+                      const std::vector<std::string>&);
+  void handle_version(const HttpRequest&, HttpExchange&,
+                      const std::vector<std::string>&);
+  void handle_metricsz(const HttpRequest&, HttpExchange&,
+                       const std::vector<std::string>&);
+  void handle_submit(const HttpRequest&, HttpExchange&,
+                     const std::vector<std::string>&);
+  void handle_run_status(const HttpRequest&, HttpExchange&,
+                         const std::vector<std::string>&);
+  void handle_run_metrics(const HttpRequest&, HttpExchange&,
+                          const std::vector<std::string>&);
+
+  std::string run_status_json(const RunRecord& record) const;
+
+  const FleetServerOptions options_;
+  RunStore store_;
+  AssetCache assets_;
+  std::unique_ptr<RunScheduler> scheduler_;
+  HttpServer http_;
+  std::vector<Route> routes_;
+  std::atomic<bool> stopping_{false};
+  double started_ms_ = 0.0;
+
+  /// MetricsRegistry is not thread-safe; every touch goes through this.
+  mutable std::mutex self_metrics_mutex_;
+  obs::MetricsRegistry self_metrics_;
+  obs::MetricsRegistry::Counter m_http_requests_;
+  obs::MetricsRegistry::Counter m_http_errors_;
+  obs::MetricsRegistry::Counter m_runs_submitted_;
+  obs::MetricsRegistry::Counter m_runs_deduped_;
+  obs::MetricsRegistry::Counter m_stream_lines_;
+};
+
+}  // namespace mnp::service

@@ -1,0 +1,17 @@
+#include "service/wallclock.hpp"
+
+#include <chrono>
+
+namespace mnp::service {
+
+double wall_ms() {
+  // Allowlisted (tools/mnp_lint/allowlist.txt): self-metrics only, never
+  // simulator state — see the header comment.
+  static const std::chrono::steady_clock::time_point kEpoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - kEpoch)
+      .count();
+}
+
+}  // namespace mnp::service

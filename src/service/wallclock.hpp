@@ -1,0 +1,16 @@
+// The fleet service's only wall-clock access point.
+//
+// Everything under src/ is subject to the determinism lint: simulator
+// code must never read real time. The service layer legitimately needs a
+// monotonic clock — queue-wait and run-duration self-metrics, dedup
+// speedup accounting — but those readings feed the /metricsz registry
+// only, never a simulation or its exports. Confining the clock to this
+// one translation unit keeps the allowlist to a single audited entry.
+#pragma once
+
+namespace mnp::service {
+
+/// Monotonic milliseconds since an arbitrary epoch (process start-ish).
+double wall_ms();
+
+}  // namespace mnp::service

@@ -1,6 +1,7 @@
 #include "util/gf256.hpp"
 
 #include <array>
+#include <atomic>
 
 #if defined(__x86_64__) || defined(__i386__)
 #define MNP_GF256_X86 1
@@ -108,10 +109,12 @@ RowFn resolve(Kernel k) {
   return addmul_row_tables;
 }
 
-// Dispatch state. Written only by set_kernel (tests/benches, before the
-// rows fly); simulation runs never mutate it, so parallel sweeps are safe.
-RowFn g_row_fn = resolve(Kernel::kAuto);
-const char* g_kernel_name = cpu_has_ssse3() ? "ssse3" : "scalar";
+// Dispatch state. Written only by set_kernel (tests/benches); atomic with
+// relaxed ordering (free on x86) so a concurrent run_experiment — the
+// fleet service runs many on independent threads — never races a kernel
+// flip. The coded rows themselves are identical under either kernel.
+std::atomic<RowFn> g_row_fn{resolve(Kernel::kAuto)};
+std::atomic<const char*> g_kernel_name{cpu_has_ssse3() ? "ssse3" : "scalar"};
 
 }  // namespace
 
@@ -134,7 +137,7 @@ void addmul_row(std::uint8_t* dst, const std::uint8_t* src, std::size_t n,
     xor_row(dst, src, n);
     return;
   }
-  g_row_fn(dst, src, n, c);
+  g_row_fn.load(std::memory_order_relaxed)(dst, src, n, c);
 }
 
 void mul_row(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
@@ -155,11 +158,15 @@ void mul_row(std::uint8_t* dst, std::size_t n, std::uint8_t c) {
 }
 
 void set_kernel(Kernel k) {
-  g_row_fn = resolve(k);
-  g_kernel_name = (g_row_fn == addmul_row_tables) ? "scalar" : "ssse3";
+  const RowFn fn = resolve(k);
+  g_row_fn.store(fn, std::memory_order_relaxed);
+  g_kernel_name.store(fn == addmul_row_tables ? "scalar" : "ssse3",
+                      std::memory_order_relaxed);
 }
 
-const char* kernel_name() { return g_kernel_name; }
+const char* kernel_name() {
+  return g_kernel_name.load(std::memory_order_relaxed);
+}
 
 bool simd_available() { return cpu_has_ssse3(); }
 

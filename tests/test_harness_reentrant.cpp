@@ -1,0 +1,144 @@
+// Re-entrancy of run_experiment (DESIGN.md §14): the fleet scheduler
+// calls it from many threads at once with *different* configurations —
+// unlike run_sweep, which fans one configuration over seeds. Any mutable
+// static anywhere under the harness (RNG state, kernel-dispatch globals,
+// shared scratch) shows up here as a cross-thread result difference, and
+// under the CI thread-sanitizer job as a reported race.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/observe.hpp"
+#include "service/asset_cache.hpp"
+
+namespace mnp {
+namespace {
+
+harness::ExperimentConfig variant(std::size_t i) {
+  harness::ExperimentConfig cfg;
+  cfg.rows = 4 + (i % 3);           // 4x4, 5x5, 6x6
+  cfg.cols = cfg.rows;
+  cfg.seed = 100 + i;
+  cfg.set_program_segments(1);
+  cfg.max_sim_time = sim::sec(900);
+  switch (i % 4) {                  // mix protocols across threads
+    case 0: cfg.protocol = harness::Protocol::kMnp; break;
+    case 1: cfg.protocol = harness::Protocol::kDeluge; break;
+    case 2: cfg.protocol = harness::Protocol::kNcast; break;
+    default: cfg.protocol = harness::Protocol::kXnp; break;
+  }
+  return cfg;
+}
+
+struct Essentials {
+  sim::Time completion = 0;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+  double energy = 0.0;
+
+  static Essentials of(const harness::RunResult& r) {
+    return {r.completion_time, r.transmissions, r.deliveries, r.collisions,
+            r.total_energy_nah()};
+  }
+  bool operator==(const Essentials&) const = default;
+};
+
+TEST(HarnessReentrant, ConcurrentHeterogeneousRunsMatchSequential) {
+  constexpr std::size_t kRuns = 8;
+
+  // Sequential reference, one thread, run order 0..N-1.
+  std::vector<Essentials> reference(kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    reference[i] = Essentials::of(harness::run_experiment(variant(i)));
+  }
+
+  // The same configurations, all at once from independent threads.
+  std::vector<Essentials> concurrent(kRuns);
+  std::vector<std::thread> threads;
+  threads.reserve(kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    threads.emplace_back([i, &concurrent] {
+      concurrent[i] = Essentials::of(harness::run_experiment(variant(i)));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(reference[i], concurrent[i]) << "variant " << i;
+  }
+}
+
+TEST(HarnessReentrant, ConcurrentRunsSharingCachedAssetsMatchSequential) {
+  // The fleet fast path: every thread's config points at the *same*
+  // interned Topology and ProgramImage. The shared image is read
+  // concurrently by all runs; a hidden mutation of either asset anywhere
+  // in the harness would diverge results or trip TSan.
+  constexpr std::size_t kRuns = 6;
+  service::AssetCache cache;
+
+  auto shared_variant = [&cache](std::size_t i) {
+    harness::ExperimentConfig cfg;
+    cfg.rows = 5;
+    cfg.cols = 5;
+    cfg.seed = 200 + i;
+    cfg.set_program_segments(1);
+    cfg.max_sim_time = sim::sec(900);
+    cache.attach_assets(cfg);
+    return cfg;
+  };
+
+  std::vector<Essentials> reference(kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    reference[i] = Essentials::of(harness::run_experiment(shared_variant(i)));
+  }
+
+  std::vector<Essentials> concurrent(kRuns);
+  std::vector<std::thread> threads;
+  threads.reserve(kRuns);
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    threads.emplace_back([i, &concurrent, &shared_variant] {
+      concurrent[i] =
+          Essentials::of(harness::run_experiment(shared_variant(i)));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t i = 0; i < kRuns; ++i) {
+    EXPECT_EQ(reference[i], concurrent[i]) << "seed " << 200 + i;
+  }
+}
+
+TEST(HarnessReentrant, ObservedAndProgressSampledRunsDoNotPerturbResults) {
+  // Observation is per-run state; concurrent observed runs with live
+  // progress hooks must neither race nor change any result.
+  harness::ExperimentConfig cfg = variant(0);
+
+  const Essentials plain = Essentials::of(harness::run_experiment(cfg));
+
+  std::vector<Essentials> observed(4);
+  std::vector<std::uint64_t> progress_calls(4, 0);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    threads.emplace_back([&, i] {
+      harness::Observation obs(/*trace_capacity=*/1);
+      obs.with_trace = false;
+      obs.progress_interval = sim::sec(10);
+      obs.on_progress = [&progress_calls, i](const harness::RunProgress&) {
+        ++progress_calls[i];
+      };
+      observed[i] = Essentials::of(harness::run_experiment(cfg, &obs));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    EXPECT_EQ(plain, observed[i]) << i;
+    EXPECT_GT(progress_calls[i], 0u) << i;
+  }
+}
+
+}  // namespace
+}  // namespace mnp

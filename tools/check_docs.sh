@@ -70,6 +70,34 @@ while IFS= read -r p; do
   fi
 done <<< "$documented"
 
+# Fleet-service endpoint gate: the HTTP routes mnp_simd registers
+# (`add_route("METHOD", "/path", ...)` in src/service/server.cpp) and the
+# endpoint table in DESIGN.md §14 must match in both directions, so a
+# route can be neither added silently nor documented speculatively.
+served=$(grep -hoE 'add_route\("(GET|POST|PUT|DELETE)", "[^"]+"' \
+           src/service/server.cpp |
+         sed -E 's/add_route\("([A-Z]+)", "([^"]+)"/\1 \2/' | sort -u)
+endpoints_doc=$(grep -hoE '^\| `(GET|POST|PUT|DELETE)` \| `[^`]+`' DESIGN.md |
+                sed -E 's/^\| `([A-Z]+)` \| `([^`]+)`/\1 \2/' | sort -u)
+if [ -z "$served" ]; then
+  echo "check_docs: could not parse add_route registrations from src/service/server.cpp" >&2
+  fail=1
+fi
+while IFS= read -r route; do
+  [ -n "$route" ] || continue
+  if ! grep -qxF "$route" <<< "$endpoints_doc"; then
+    echo "check_docs: server routes '$route' but DESIGN.md's endpoint table omits it" >&2
+    fail=1
+  fi
+done <<< "$served"
+while IFS= read -r route; do
+  [ -n "$route" ] || continue
+  if ! grep -qxF "$route" <<< "$served"; then
+    echo "check_docs: DESIGN.md documents endpoint '$route' but the server has no such route" >&2
+    fail=1
+  fi
+done <<< "$endpoints_doc"
+
 if [ "$fail" -eq 0 ]; then
   echo "check_docs: OK ($checked documented binary paths resolve to targets)"
 fi
